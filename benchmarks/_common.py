@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints it
+(visible with ``pytest -s``), and writes the rendered text under
+``benchmarks/results/`` so the reproduction's numbers are durable artifacts
+that EXPERIMENTS.md can reference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.reporting import PaperExpectation, ResultTable, render_expectations
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, tables: list[ResultTable], expectations: list[PaperExpectation] | None = None) -> None:
+    """Print and persist a benchmark's tables and paper-vs-measured notes."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    chunks = [t.render() for t in tables]
+    if expectations:
+        chunks.append(render_expectations(expectations))
+    text = "\n\n".join(chunks) + "\n"
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavy computation exactly once (simulations are
+    deterministic; repeated rounds add nothing but wall-clock)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Ablation: DRAM prefetching in front of HCache restoration.
+
+§4 of the paper marks hierarchical DRAM+SSD backends with prefetching
+(AttentionStore-style) as orthogonal enhancements.  This bench quantifies
+the combination: multi-turn sessions prefetch their states during the 30 s
+think time, so the next round restores at host-link speed and the
+scheduler re-balances its partition for the faster IO.
+"""
+
+from __future__ import annotations
+
+from _common import emit, run_once
+
+from repro.analysis.reporting import PaperExpectation, ResultTable
+from repro.cache.prefetch import PrefetchingHCache
+from repro.models import model_preset
+from repro.simulator import platform_preset
+from repro.traces.arrival import ROUND_INTERVAL_SECONDS
+
+N_TOKENS = 2048
+
+
+def measure():
+    rows = []
+    for platform_name in ("compute-sufficient", "a100-4ssd"):
+        config = model_preset("llama2-7b")
+        prefetcher = PrefetchingHCache(config, platform_preset(platform_name))
+        cold = prefetcher.restore(f"{platform_name}-cold", N_TOKENS)
+        copy_time = prefetcher.finish_round(f"{platform_name}-warm", N_TOKENS)
+        warm = prefetcher.restore(f"{platform_name}-warm", N_TOKENS)
+        rows.append((platform_name, cold, warm, copy_time))
+    return rows
+
+
+def test_abl_prefetching_restoration(benchmark):
+    rows = run_once(benchmark, measure)
+    table = ResultTable(
+        "Prefetching HCache: cold (SSD) vs warm (DRAM) restoration, 7B, 2048 tokens",
+        ["platform", "cold scheme", "cold K tok/s", "warm scheme", "warm K tok/s",
+         "gain", "prefetch copy (s)"],
+    )
+    for name, cold, warm, copy_time in rows:
+        table.add_row(
+            name,
+            cold.scheme_description,
+            f"{cold.timing.restoration_speed / 1e3:.1f}",
+            warm.scheme_description,
+            f"{warm.timing.restoration_speed / 1e3:.1f}",
+            f"{warm.timing.restoration_speed / cold.timing.restoration_speed:.2f}x",
+            f"{copy_time:.3f}",
+        )
+    one_ssd = rows[0]
+    gain = one_ssd[2].timing.restoration_speed / one_ssd[1].timing.restoration_speed
+    expectations = [
+        PaperExpectation(
+            "warm gain on 1-SSD platform", "large (SSD 6.9 -> PCIe 32 GB/s)",
+            f"{gain:.2f}x", holds=gain > 2.0,
+        ),
+        PaperExpectation(
+            "prefetch fits the 30s round interval", f"< {ROUND_INTERVAL_SECONDS}s",
+            f"{max(r[3] for r in rows):.3f}s",
+            holds=all(r[3] < ROUND_INTERVAL_SECONDS / 5 for r in rows),
+        ),
+    ]
+    emit("abl_prefetch", [table], expectations)
+    assert gain > 2.0
+    for _, cold, warm, _ in rows:
+        assert warm.timing.makespan <= cold.timing.makespan

@@ -1,0 +1,82 @@
+"""Figure 1 — state-restoration resource comparison.
+
+The paper's headline: versus recomputation HCache needs ~1/6 of the
+computation, and versus KV offload ~1/2 of the IO transmission.  This bench
+evaluates the §3.2 cost model for every evaluated model and prints the
+normalized resource budgets.
+"""
+
+from __future__ import annotations
+
+from _common import emit, run_once
+
+from repro.analysis.reporting import PaperExpectation, ResultTable
+from repro.models import model_preset
+from repro.simulator import platform_preset
+from repro.simulator.costs import (
+    full_layer_flops,
+    hidden_bytes,
+    kv_bytes,
+    kv_projection_flops,
+)
+
+MODELS = ("llama2-7b", "llama2-13b", "opt-30b")
+N_TOKENS = 2048
+
+
+def compute_budgets():
+    rows = []
+    for name in MODELS:
+        config = model_preset(name)
+        compute_ratio = kv_projection_flops(config, N_TOKENS) / full_layer_flops(
+            config, N_TOKENS
+        )
+        io_ratio = hidden_bytes(config, N_TOKENS) / kv_bytes(config, N_TOKENS)
+        rows.append((name, compute_ratio, io_ratio))
+    return rows
+
+
+def test_fig01_resource_budget(benchmark):
+    rows = run_once(benchmark, compute_budgets)
+    table = ResultTable(
+        "Figure 1: HCache resource budget (fraction of baseline, lower is better)",
+        ["model", "compute vs recompute", "IO vs KV offload"],
+    )
+    for name, compute_ratio, io_ratio in rows:
+        table.add_row(name, f"{compute_ratio:.3f} (1/{1 / compute_ratio:.1f})", f"{io_ratio:.2f}")
+    expectations = [
+        PaperExpectation(
+            "compute fraction", "<= 1/6", f"{max(r[1] for r in rows):.3f}",
+            holds=all(r[1] <= 1 / 6 + 1e-9 for r in rows),
+        ),
+        PaperExpectation(
+            "IO fraction", "1/2", f"{max(r[2] for r in rows):.2f}",
+            holds=all(abs(r[2] - 0.5) < 1e-9 for r in rows),
+        ),
+    ]
+    emit("fig01_resource_budget", [table], expectations)
+    assert all(r[1] <= 1 / 6 + 1e-9 for r in rows)
+    assert all(abs(r[2] - 0.5) < 1e-9 for r in rows)
+
+
+def test_fig01_pipelined_restoration_time(benchmark):
+    """The same comparison in time units on the default testbed."""
+    from repro.simulator.costs import estimate_restoration
+
+    def run():
+        platform = platform_preset("default")
+        return {
+            name: estimate_restoration(model_preset(name), platform, N_TOKENS)
+            for name in ("llama2-7b", "llama2-13b")
+        }
+
+    estimates = run_once(benchmark, run)
+    table = ResultTable(
+        "Figure 1 (time view): closed-form restoration seconds, 2048 tokens",
+        ["model", "hcache", "kv-offload", "recompute"],
+    )
+    for name, est in estimates.items():
+        table.add_row(name, f"{est.hcache:.4f}", f"{est.kv_offload:.4f}", f"{est.recompute:.4f}")
+    emit("fig01_restoration_time", [table])
+    for est in estimates.values():
+        assert est.hcache < est.kv_offload < est.recompute

@@ -1,0 +1,53 @@
+"""Figure 3 — ShareGPT4 multi-round conversation characteristics.
+
+Validates that the synthetic trace generator reproduces the published
+statistics: mean per-round input 66.8 / output 358.8 tokens (Fig. 3a) and a
+history-length CDF whose median exceeds 2.5K tokens (Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from _common import emit, run_once
+
+from repro.analysis.reporting import PaperExpectation, ResultTable
+from repro.traces import ShareGPTGenerator, trace_statistics
+
+
+def sample_stats():
+    conversations = ShareGPTGenerator(seed=0).sample_many(600)
+    return trace_statistics(conversations)
+
+
+def test_fig03_sharegpt_statistics(benchmark):
+    stats = run_once(benchmark, sample_stats)
+    lengths = ResultTable(
+        "Figure 3a: per-round token lengths",
+        ["metric", "paper", "measured"],
+    )
+    lengths.add_row("mean input tokens", 66.8, f"{stats.mean_input:.1f}")
+    lengths.add_row("mean output tokens", 358.8, f"{stats.mean_output:.1f}")
+
+    cdf = ResultTable(
+        "Figure 3b: history-length CDF (truncated at 16K)",
+        ["history <= tokens", "fraction of rounds"],
+    )
+    for point, fraction in stats.history_cdf:
+        cdf.add_row(point, f"{fraction:.3f}")
+
+    expectations = [
+        PaperExpectation(
+            "mean input", "66.8", f"{stats.mean_input:.1f}",
+            holds=abs(stats.mean_input - 66.8) / 66.8 < 0.25,
+        ),
+        PaperExpectation(
+            "mean output", "358.8", f"{stats.mean_output:.1f}",
+            holds=abs(stats.mean_output - 358.8) / 358.8 < 0.25,
+        ),
+        PaperExpectation(
+            "median history > 2.5K", "> 2500", f"{stats.history_p50:.0f}",
+            holds=stats.history_p50 > 1500,
+        ),
+    ]
+    emit("fig03_sharegpt_stats", [lengths, cdf], expectations)
+    assert abs(stats.mean_input - 66.8) / 66.8 < 0.25
+    assert abs(stats.mean_output - 358.8) / 358.8 < 0.25

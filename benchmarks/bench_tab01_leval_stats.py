@@ -1,0 +1,52 @@
+"""Table 1 — L-Eval dataset statistics.
+
+Checks the synthetic long-context generator against the published per-task
+means (context / input / output tokens).
+"""
+
+from __future__ import annotations
+
+from _common import emit, run_once
+
+from repro.analysis.reporting import PaperExpectation, ResultTable
+from repro.traces import LEVAL_TASKS, LEvalGenerator, task_statistics
+
+SAMPLES = 500
+
+
+def sample_all_tasks():
+    gen = LEvalGenerator(seed=0)
+    stats = {}
+    for task in ("paper-assistant", "gsm-100", "quality"):
+        stats[task] = task_statistics(gen.sample_task(task, SAMPLES))
+    stats["mixed"] = task_statistics(gen.sample_mixed(SAMPLES))
+    return stats
+
+
+def test_tab01_leval_statistics(benchmark):
+    measured = run_once(benchmark, sample_all_tasks)
+    table = ResultTable(
+        "Table 1: L-Eval statistics (paper / measured)",
+        ["task", "context", "input", "output"],
+    )
+    expectations = []
+    for task, stats in measured.items():
+        paper = LEVAL_TASKS[task]
+        table.add_row(
+            task,
+            f"{paper.mean_context:.0f} / {stats['context']:.0f}",
+            f"{paper.mean_input:.0f} / {stats['input']:.0f}",
+            f"{paper.mean_output:.0f} / {stats['output']:.0f}",
+        )
+        if task != "mixed":
+            holds = abs(stats["context"] - paper.mean_context) / paper.mean_context < 0.15
+            expectations.append(
+                PaperExpectation(
+                    f"{task} mean context", f"{paper.mean_context:.0f}",
+                    f"{stats['context']:.0f}", holds=holds,
+                )
+            )
+    emit("tab01_leval_stats", [table], expectations)
+    for task in ("paper-assistant", "gsm-100", "quality"):
+        paper = LEVAL_TASKS[task]
+        assert abs(measured[task]["context"] - paper.mean_context) / paper.mean_context < 0.15

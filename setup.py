@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package installs in environments without the ``wheel`` package
+(``pip install -e .`` needs ``bdist_wheel``; ``python setup.py develop``
+does not).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""HCache reproduction: fast LLM state restoration from hidden states.
+
+Reproduction of *Fast State Restoration in LLM Serving with HCache*
+(Gao, Chen, Shu — EuroSys 2025).  The package provides:
+
+- :mod:`repro.core` — the HCache engine, bubble-free restoration
+  scheduler, chunk-oriented storage management, and two-stage saving.
+- :mod:`repro.models` — model configs plus a real numpy transformer that
+  demonstrates lossless restoration.
+- :mod:`repro.simulator` — the hardware performance model standing in for
+  the paper's GPU/SSD testbed.
+- :mod:`repro.storage` — chunked host storage substrate.
+- :mod:`repro.engine` — serving engines (timing simulation + numeric).
+- :mod:`repro.baselines` — token recomputation, KV offload, naive hybrid,
+  and the ideal lower bound.
+- :mod:`repro.traces` — ShareGPT4/L-Eval-shaped workload generators.
+- :mod:`repro.cache` — GPU-resident KV reuse (LRU) experiments.
+
+Quickstart::
+
+    from repro import quickstart_demo
+    quickstart_demo()
+"""
+
+from repro.baselines import (
+    HCacheMethod,
+    IdealMethod,
+    KVOffloadMethod,
+    NaiveHybridMethod,
+    RecomputationMethod,
+    default_methods,
+)
+from repro.core import (
+    BubbleFreeScheduler,
+    HCacheEngine,
+    PartitionScheme,
+    hcache_timing,
+    profile_platform,
+)
+from repro.engine import NumericServingEngine, ServingSimulator
+from repro.models import KVCache, ModelConfig, Transformer, model_preset
+from repro.simulator import Platform, platform_preset
+from repro.storage import StorageManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BubbleFreeScheduler",
+    "HCacheEngine",
+    "HCacheMethod",
+    "IdealMethod",
+    "KVCache",
+    "KVOffloadMethod",
+    "ModelConfig",
+    "NaiveHybridMethod",
+    "NumericServingEngine",
+    "PartitionScheme",
+    "Platform",
+    "RecomputationMethod",
+    "ServingSimulator",
+    "StorageManager",
+    "Transformer",
+    "default_methods",
+    "hcache_timing",
+    "model_preset",
+    "platform_preset",
+    "profile_platform",
+    "quickstart_demo",
+]
+
+
+def quickstart_demo() -> None:
+    """Smallest end-to-end demonstration: save, evict, restore, compare.
+
+    Runs a tiny model for real, restores its KV cache from hidden states,
+    and prints the restoration-time comparison for Llama2-7B on the
+    paper's default testbed.
+    """
+    import numpy as np
+
+    from repro.core.profiler import build_storage_array
+
+    config = model_preset("tiny-llama")
+    model = Transformer.from_seed(config, seed=0)
+    platform = platform_preset("default")
+    storage = StorageManager(build_storage_array(platform))
+    engine = HCacheEngine(model, storage)
+    engine.register_context("demo")
+    prompt = np.arange(24) % config.vocab_size
+    result, cache = model.prefill(prompt, capture_hidden=True)
+    assert result.hidden_states is not None
+    engine.save_states("demo", result.hidden_states, prompt, kv_cache=cache)
+    engine.seal("demo")
+    restored = engine.restore("demo")
+    print(f"lossless restore: {cache.equals(restored)}")
+
+    seven_b = model_preset("llama2-7b")
+    for name, method in default_methods(seven_b, platform).items():
+        if name == "ideal":
+            continue
+        timing = method.restoration_timing(2048)
+        print(
+            f"{name:>11}: restore 2048 tokens of {seven_b.name} in "
+            f"{timing.makespan * 1e3:7.2f} ms "
+            f"({timing.restoration_speed / 1e3:6.1f}K tokens/s)"
+        )

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: tables, expectations, parameter sweeps."""
+
+from repro.analysis.reporting import (
+    PaperExpectation,
+    ResultTable,
+    render_expectations,
+)
+from repro.analysis.sweep import SweepPoint, crossover, sweep
+
+__all__ = [
+    "PaperExpectation",
+    "ResultTable",
+    "SweepPoint",
+    "crossover",
+    "render_expectations",
+    "sweep",
+]

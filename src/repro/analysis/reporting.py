@@ -1,0 +1,88 @@
+"""Benchmark output formatting.
+
+Every benchmark regenerates one of the paper's tables or figure series;
+these helpers render them as aligned text tables so the harness output can
+be compared line by line against the paper (EXPERIMENTS.md records the
+correspondence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ResultTable:
+    """An aligned text table.
+
+    Attributes:
+        title: Heading printed above the table.
+        headers: Column names.
+        rows: Row values; rendered with ``str``.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ConfigError(
+                f"row has {len(values)} cells; table {self.title!r} "
+                f"has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [self.headers] + [[_fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PaperExpectation:
+    """A paper-reported quantity and the measured reproduction value.
+
+    Attributes:
+        name: What is being compared (e.g. "TTFT speedup vs KV offload").
+        paper: The paper's value or range, as display text.
+        measured: The reproduction's value.
+        holds: Whether the qualitative claim is reproduced.
+    """
+
+    name: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        mark = "OK " if self.holds else "DIFF"
+        return f"[{mark}] {self.name}: paper {self.paper} | measured {self.measured}"
+
+
+def render_expectations(expectations: list[PaperExpectation]) -> str:
+    return "\n".join(e.render() for e in expectations)

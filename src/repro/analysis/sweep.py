@@ -1,0 +1,56 @@
+"""Parameter sweep helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep.
+
+    Attributes:
+        params: The swept parameter values.
+        value: The measurement at this point.
+    """
+
+    params: dict[str, Any]
+    value: Any
+
+
+def sweep(
+    fn: Callable[..., Any],
+    axis_name: str,
+    axis_values: Iterable[Any],
+    **fixed: Any,
+) -> list[SweepPoint]:
+    """Evaluate ``fn`` along one parameter axis.
+
+    ``fn`` is called as ``fn(**fixed, axis_name=value)`` for every value.
+    """
+    points = []
+    for value in axis_values:
+        kwargs = dict(fixed)
+        kwargs[axis_name] = value
+        points.append(SweepPoint(params={axis_name: value, **fixed}, value=fn(**kwargs)))
+    if not points:
+        raise ConfigError("sweep axis produced no points")
+    return points
+
+
+def crossover(points: list[SweepPoint], key_a: str, key_b: str) -> Any | None:
+    """Find the first axis value where series ``a`` stops beating ``b``.
+
+    Each point's value must be a mapping containing both keys (smaller is
+    better).  Returns ``None`` when no crossover occurs.
+    """
+    if not points:
+        raise ConfigError("no sweep points supplied")
+    axis = list(points[0].params)[0]
+    for point in points:
+        if point.value[key_a] >= point.value[key_b]:
+            return point.params[axis]
+    return None

@@ -1,0 +1,38 @@
+"""Restoration methods: HCache plus every comparator the paper evaluates.
+
+- :class:`RecomputationMethod` — DeepSpeed-MII-style token recomputation.
+- :class:`KVOffloadMethod` — AttentionStore-style KV cache offloading.
+- :class:`NaiveHybridMethod` — balanced concurrent recompute + offload
+  over token shards (§6.3.1's "Naive Hybrid").
+- :class:`HCacheMethod` / :class:`HCacheOnlyMethod` — the paper's system,
+  with and without the bubble-free scheduler.
+- :class:`IdealMethod` — the no-restoration lower bound.
+"""
+
+from repro.baselines.base import RestorationMethod
+from repro.baselines.hcache_method import HCacheMethod, HCacheOnlyMethod
+from repro.baselines.ideal import IdealMethod
+from repro.baselines.kv_offload import KVOffloadMethod
+from repro.baselines.naive_hybrid import HybridSplit, NaiveHybridMethod
+from repro.baselines.recomputation import RecomputationMethod
+
+__all__ = [
+    "HCacheMethod",
+    "HCacheOnlyMethod",
+    "HybridSplit",
+    "IdealMethod",
+    "KVOffloadMethod",
+    "NaiveHybridMethod",
+    "RecomputationMethod",
+    "RestorationMethod",
+]
+
+
+def default_methods(config, platform) -> dict[str, RestorationMethod]:
+    """The standard comparison set used across benchmarks."""
+    return {
+        "recompute": RecomputationMethod(config, platform),
+        "kv-offload": KVOffloadMethod(config, platform),
+        "hcache": HCacheMethod(config, platform),
+        "ideal": IdealMethod(config, platform),
+    }

@@ -1,0 +1,27 @@
+"""Ideal (no-restoration) lower bound.
+
+Models the paper's "Ideal" system: placeholder KV values already sit in
+GPU memory, so serving pays only the new prompt's prefill.  This bounds
+TTFT/TBT from below for every real method (§6, Baselines).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import RestorationMethod
+from repro.core.restoration import RestorationTiming
+
+
+class IdealMethod(RestorationMethod):
+    """Zero-cost restoration."""
+
+    name = "ideal"
+
+    def restoration_timing(self, n_tokens: int) -> RestorationTiming:
+        return RestorationTiming(
+            n_tokens=n_tokens,
+            makespan=0.0,
+            io_busy=0.0,
+            compute_busy=0.0,
+            io_bubble=0.0,
+            compute_bubble=0.0,
+        )

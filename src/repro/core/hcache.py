@@ -1,0 +1,231 @@
+"""HCache end-to-end orchestration (§3.1, §4, Fig. 7).
+
+:class:`HCacheEngine` is the public entry point for the *functional* side
+of the reproduction: it persists a context's per-layer hidden states (and,
+for scheduler-assigned layers, raw KV) into the chunked storage manager as
+generation proceeds, evicts GPU state, and later restores a bit-accurate
+KV cache by replaying only the K/V projections.  The same object reports
+the modelled restoration timing for its platform, so the numeric and
+performance views stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import PartitionScheme
+from repro.core.profiler import profile_platform
+from repro.core.restoration import RestorationTiming, scheme_timing
+from repro.core.scheduler import BubbleFreeScheduler, ScheduleDecision
+from repro.errors import ConfigError, RestorationError, StateError
+from repro.models.kv_cache import KVCache
+from repro.models.transformer import Transformer
+from repro.simulator.hardware import Platform
+from repro.simulator.pipeline import LayerMethod
+from repro.storage.manager import StorageManager
+
+
+@dataclass(frozen=True)
+class SavedContext:
+    """Book-keeping for one context the engine manages.
+
+    Attributes:
+        context_id: Stable identity.
+        scheme: Partition scheme its states were saved under.
+        n_tokens: Tokens saved so far.
+    """
+
+    context_id: str
+    scheme: PartitionScheme
+    n_tokens: int
+
+
+class HCacheEngine:
+    """Saves and restores LLM contextual state via hidden states."""
+
+    def __init__(
+        self,
+        transformer: Transformer,
+        storage: StorageManager,
+        platform: Platform | None = None,
+        scheme: PartitionScheme | None = None,
+    ) -> None:
+        """Create an engine.
+
+        Args:
+            transformer: The serving model (provides the projection
+                weights used for restoration).
+            storage: Chunked host storage for hidden states / KV.
+            platform: Hardware platform for timing queries; when given and
+                ``scheme`` is omitted, the bubble-free scheduler picks the
+                partition from an offline profile at a reference length.
+            scheme: Fixed partition scheme; defaults to pure HCache when
+                neither a scheme nor a platform is supplied.
+        """
+        self.transformer = transformer
+        self.storage = storage
+        self.platform = platform
+        config = transformer.config
+        if scheme is not None:
+            if scheme.n_layers != config.n_layers:
+                raise ConfigError("scheme layer count mismatches the model")
+            self.scheme = scheme
+            self.decision: ScheduleDecision | None = None
+        elif platform is not None:
+            profile = profile_platform(config, platform, n_tokens=1024)
+            self.decision = BubbleFreeScheduler(config.n_layers).schedule(profile)
+            self.scheme = self.decision.scheme
+        else:
+            self.scheme = PartitionScheme.pure_hcache(config.n_layers)
+            self.decision = None
+        self._contexts: dict[str, int] = {}
+        self._tokens: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # saving
+    # ------------------------------------------------------------------
+
+    def register_context(self, context_id: str) -> None:
+        """Declare a new context before saving states for it."""
+        if context_id in self._contexts:
+            raise StateError(f"context {context_id!r} already registered")
+        self.storage.register_context(
+            context_id,
+            n_layers=self.transformer.config.n_layers,
+            hidden_width=self.transformer.config.hidden_size,
+            dtype=np.float32,
+        )
+        self._contexts[context_id] = 0
+        self._tokens[context_id] = []
+
+    def has_context(self, context_id: str) -> bool:
+        return context_id in self._contexts
+
+    def saved_tokens(self, context_id: str) -> int:
+        if context_id not in self._contexts:
+            raise StateError(f"context {context_id!r} not registered")
+        return self._contexts[context_id]
+
+    def save_states(
+        self,
+        context_id: str,
+        hidden_states: list[np.ndarray],
+        tokens: np.ndarray,
+        kv_cache: KVCache | None = None,
+    ) -> None:
+        """Persist newly generated states for a block of tokens.
+
+        Args:
+            context_id: The context the block extends.
+            hidden_states: Per-layer ``(n_new, hidden)`` arrays — the
+                residual inputs captured during the forward pass.
+            tokens: The block's token ids (needed by recompute layers and
+                kept for all layers, mirroring the prompt log every serving
+                system retains).
+            kv_cache: Required when the scheme KV-offloads some layers;
+                its trailing ``n_new`` rows for those layers are saved.
+        """
+        config = self.transformer.config
+        if len(hidden_states) != config.n_layers:
+            raise ConfigError(
+                f"expected {config.n_layers} per-layer hidden states, got {len(hidden_states)}"
+            )
+        tokens = np.asarray(tokens)
+        n_new = hidden_states[0].shape[0]
+        if tokens.size != n_new:
+            raise ConfigError("token block must match the hidden-state block length")
+        if self.scheme.n_kv and kv_cache is None:
+            raise ConfigError("scheme KV-offloads layers; a kv_cache is required to save them")
+        start = self.saved_tokens(context_id)
+        for layer, method in enumerate(self.scheme.methods):
+            if method is LayerMethod.HIDDEN:
+                self.storage.append(context_id, layer, hidden_states[layer], kind="hidden")
+            elif method is LayerMethod.KV:
+                assert kv_cache is not None
+                packed = kv_cache.packed_layer(layer)
+                if packed.shape[0] < start + n_new:
+                    raise ConfigError(
+                        f"kv_cache holds {packed.shape[0]} tokens at layer {layer}, "
+                        f"need {start + n_new}"
+                    )
+                self.storage.append(
+                    context_id, layer, packed[start : start + n_new], kind="kv"
+                )
+        self._contexts[context_id] = start + n_new
+        self._tokens[context_id].extend(int(t) for t in tokens)
+
+    def seal(self, context_id: str) -> None:
+        """Flush tail chunks when a round ends and GPU state is evicted."""
+        self.saved_tokens(context_id)
+        self.storage.seal_context(context_id)
+
+    def drop_context(self, context_id: str) -> None:
+        """Remove a context's states entirely."""
+        self.saved_tokens(context_id)
+        self.storage.free_context(context_id)
+        del self._contexts[context_id]
+        del self._tokens[context_id]
+
+    def saved_context(self, context_id: str) -> SavedContext:
+        return SavedContext(context_id, self.scheme, self.saved_tokens(context_id))
+
+    # ------------------------------------------------------------------
+    # restoration
+    # ------------------------------------------------------------------
+
+    def restore(self, context_id: str) -> KVCache:
+        """Rebuild the context's full KV cache from saved state.
+
+        Layers marked HIDDEN are projected from their stored hidden states
+        (the HCache path); KV layers are installed from their stored pairs;
+        a RECOMPUTE prefix is replayed from the retained tokens.  The
+        result is numerically identical to the evicted cache.
+        """
+        n_tokens = self.saved_tokens(context_id)
+        if n_tokens == 0:
+            raise RestorationError(f"context {context_id!r} has no saved state")
+        config = self.transformer.config
+        positions = np.arange(n_tokens)
+        if self.scheme.n_recompute:
+            tokens = np.array(self._tokens[context_id])
+            cache, _ = self.transformer.recompute_prefix(tokens, self.scheme.n_recompute)
+        else:
+            cache = KVCache(config)
+        for layer, method in enumerate(self.scheme.methods):
+            if method is LayerMethod.HIDDEN:
+                hidden = self.storage.load_layer(context_id, layer, kind="hidden")
+                if hidden.shape[0] != n_tokens:
+                    raise RestorationError(
+                        f"layer {layer} stores {hidden.shape[0]} tokens, expected {n_tokens}"
+                    )
+                k, v = self.transformer.project_kv(layer, hidden, positions)
+                cache.install(layer, k, v)
+            elif method is LayerMethod.KV:
+                packed = self.storage.load_layer(context_id, layer, kind="kv")
+                if packed.shape[0] != n_tokens:
+                    raise RestorationError(
+                        f"layer {layer} stores {packed.shape[0]} KV rows, expected {n_tokens}"
+                    )
+                cache.install_packed(layer, packed)
+        if len(cache) != n_tokens:
+            raise RestorationError("restored cache length mismatch")
+        return cache
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+
+    def restoration_timing(self, n_tokens: int) -> RestorationTiming:
+        """Modelled restoration time for a context of ``n_tokens``.
+
+        Requires the engine to have been built with a platform.
+        """
+        if self.platform is None:
+            raise ConfigError("engine was built without a platform; timing unavailable")
+        return scheme_timing(self.transformer.config, self.platform, n_tokens, self.scheme)
+
+    def storage_bytes_per_token(self) -> int:
+        """Per-token storage footprint of the active scheme (Table 3)."""
+        return self.scheme.storage_bytes_per_token(self.transformer.config)

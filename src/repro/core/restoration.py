@@ -1,0 +1,222 @@
+"""Restoration timing: schemes and partitions -> pipelined wall-clock time.
+
+Bridges the scheduler's partition decisions and the simulator's stream
+model into the quantities the paper reports: restoration makespan,
+restoration speed (restored tokens per second, the y-axis of Fig. 11-13),
+and per-stream bubble accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import PartitionScheme, TokenPartition
+from repro.core.profiler import HardwareProfile, build_storage_array, profile_platform
+from repro.core.scheduler import BubbleFreeScheduler, ScheduleDecision, layer_plans_for_scheme
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.simulator.costs import full_layer_flops, kv_projection_flops
+from repro.simulator.gemm import kv_projection_time, round_up_tokens
+from repro.simulator.hardware import Platform
+from repro.simulator.pipeline import (
+    COMPUTE_STREAM,
+    IO_STREAM,
+    TokenwiseLayerPlan,
+    build_layerwise_schedule,
+    build_tokenwise_schedule,
+)
+from repro.simulator.streams import ScheduleResult
+from repro.storage.chunk import CHUNK_TOKENS
+
+
+@dataclass(frozen=True)
+class RestorationTiming:
+    """A fully evaluated restoration of one context.
+
+    Attributes:
+        n_tokens: History tokens restored.
+        makespan: End-to-end restoration wall-clock time (seconds).
+        io_busy: Total IO-stream work.
+        compute_busy: Total compute-stream work.
+        io_bubble: IO-stream idle time within the restoration window.
+        compute_bubble: Compute-stream idle time.
+    """
+
+    n_tokens: int
+    makespan: float
+    io_busy: float
+    compute_busy: float
+    io_bubble: float
+    compute_bubble: float
+
+    @property
+    def restoration_speed(self) -> float:
+        """Restored tokens per second — the paper's recovery-speed metric."""
+        if self.makespan <= 0:
+            return float("inf")
+        return self.n_tokens / self.makespan
+
+
+def _timing_from_schedule(result: ScheduleResult, n_tokens: int) -> RestorationTiming:
+    return RestorationTiming(
+        n_tokens=n_tokens,
+        makespan=result.makespan,
+        io_busy=result.busy_time(IO_STREAM),
+        compute_busy=result.busy_time(COMPUTE_STREAM),
+        io_bubble=result.bubble_time(IO_STREAM),
+        compute_bubble=result.bubble_time(COMPUTE_STREAM),
+    )
+
+
+def scheme_timing(
+    config: ModelConfig,
+    platform: Platform,
+    n_tokens: int,
+    scheme: PartitionScheme,
+    profile: HardwareProfile | None = None,
+) -> RestorationTiming:
+    """Evaluate a given partition scheme's restoration on a platform."""
+    if scheme.n_layers != config.n_layers:
+        raise ConfigError("scheme layer count mismatches the model")
+    prof = profile if profile is not None else profile_platform(config, platform, n_tokens)
+    result = build_layerwise_schedule(layer_plans_for_scheme(scheme, prof))
+    return _timing_from_schedule(result, n_tokens)
+
+
+def hcache_timing(
+    config: ModelConfig,
+    platform: Platform,
+    n_tokens: int,
+) -> tuple[RestorationTiming, ScheduleDecision]:
+    """Profile, schedule, and time a full HCache restoration."""
+    profile = profile_platform(config, platform, n_tokens)
+    decision = BubbleFreeScheduler(config.n_layers).schedule(profile)
+    timing = scheme_timing(config, platform, n_tokens, decision.scheme, profile)
+    return timing, decision
+
+
+def hcache_only_timing(
+    config: ModelConfig, platform: Platform, n_tokens: int
+) -> RestorationTiming:
+    """The HCache-O ablation variant: all layers from hidden states."""
+    scheme = PartitionScheme.pure_hcache(config.n_layers)
+    return scheme_timing(config, platform, n_tokens, scheme)
+
+
+def tokenwise_timing(
+    config: ModelConfig,
+    platform: Platform,
+    partition: TokenPartition,
+    complement: str = "recompute",
+    round_up: bool = False,
+) -> RestorationTiming:
+    """Evaluate a token-wise partition (Fig. 13 ablation).
+
+    Every layer restores the hidden shard by transmission + projection and
+    the complementary shard either by token recomputation (the paper's
+    Fig. 13 configuration: "794 tokens via hidden states, 230 via token
+    recomputation") or by KV transfer.  With ``round_up`` the hidden shard
+    is issued at the next tile boundary (the "Token-Wise + Round" variant);
+    without it, the irregular GEMM pays the tile padding implicitly — the
+    cuBLAS effect the paper measured.
+    """
+    if complement not in ("recompute", "kv"):
+        raise ConfigError(f"unknown token-wise complement {complement!r}")
+    n_h, n_o = partition.n_hidden_tokens, partition.n_other_tokens
+    if partition.total_tokens == 0:
+        raise ConfigError("token partition covers no tokens")
+    array = build_storage_array(platform)
+    hidden_nbytes = n_h * config.hidden_bytes_per_token_layer
+    chunk_bytes = CHUNK_TOKENS * config.hidden_bytes_per_token_layer
+    io_time = 0.0
+    if hidden_nbytes:
+        io_time += array.read_time(hidden_nbytes, chunk_bytes)
+    compute_time = 0.0
+    if n_h:
+        projected = round_up_tokens(n_h) if round_up else n_h
+        compute_time += kv_projection_time(
+            projected, config.hidden_size, config.kv_size, platform
+        ).seconds
+    if n_o:
+        if complement == "kv":
+            io_time += array.read_time(
+                n_o * config.kv_bytes_per_token_layer, 2 * chunk_bytes
+            )
+        else:
+            compute_time += full_layer_flops(config, n_o) / (
+                platform.total_flops * platform.prefill_efficiency
+            )
+    plans = [
+        TokenwiseLayerPlan(layer, io_time, compute_time) for layer in range(config.n_layers)
+    ]
+    result = build_tokenwise_schedule(plans)
+    return _timing_from_schedule(result, partition.total_tokens)
+
+
+def naive_tokenwise_split(
+    config: ModelConfig, platform: Platform, n_tokens: int, step: int = 2
+) -> TokenPartition:
+    """The split a token-wise scheduler would choose *without* knowing
+    about GEMM tile quantization (§4.1.1's failure mode).
+
+    Balances per-layer hidden transmission against projection-plus-
+    recompute using the smooth closed-form costs; the resulting irregular
+    token count (e.g. the paper's 794) then pays the padded-kernel price
+    when actually executed.
+    """
+    if n_tokens <= 0:
+        raise ConfigError("n_tokens must be positive")
+    array = build_storage_array(platform)
+    chunk_bytes = CHUNK_TOKENS * config.hidden_bytes_per_token_layer
+    best_n, best_cost = 0, float("inf")
+    for n_h in range(0, n_tokens + 1, max(1, step)):
+        io = (
+            array.read_time(n_h * config.hidden_bytes_per_token_layer, chunk_bytes)
+            if n_h
+            else 0.0
+        )
+        compute = kv_projection_flops(config, n_h) / (
+            platform.total_flops * platform.gemm_eff
+        )
+        compute += full_layer_flops(config, n_tokens - n_h) / (
+            platform.total_flops * platform.prefill_efficiency
+        )
+        cost = max(io, compute)
+        if cost < best_cost - 1e-15:
+            best_n, best_cost = n_h, cost
+    return TokenPartition(best_n, n_tokens - best_n)
+
+
+def best_tokenwise_partition(
+    config: ModelConfig,
+    platform: Platform,
+    n_tokens: int,
+    step: int = 1,
+    complement: str = "auto",
+    round_up: bool = False,
+) -> tuple[RestorationTiming, TokenPartition]:
+    """Search token splits for the best token-wise restoration time.
+
+    Mirrors what a token-wise scheduler would do: balance the per-layer IO
+    and compute by moving tokens between the HCache shard and the
+    complementary shard.  ``complement="auto"`` tries both recomputation
+    and KV transfer and keeps the faster.
+    """
+    if n_tokens <= 0:
+        raise ConfigError("n_tokens must be positive")
+    complements = ("recompute", "kv") if complement == "auto" else (complement,)
+    best: tuple[RestorationTiming, TokenPartition] | None = None
+    for comp in complements:
+        for n_h in range(0, n_tokens + 1, max(1, step)):
+            if round_up and n_h not in (0, n_tokens):
+                aligned = round_up_tokens(n_h)
+                if aligned > n_tokens or aligned != n_h:
+                    continue
+            partition = TokenPartition(n_h, n_tokens - n_h)
+            timing = tokenwise_timing(
+                config, platform, partition, complement=comp, round_up=round_up
+            )
+            if best is None or timing.makespan < best[0].makespan - 1e-12:
+                best = (timing, partition)
+    assert best is not None
+    return best

@@ -1,0 +1,157 @@
+"""State-saving strategies and their decode-path impact (§4.2.2, Fig. 14).
+
+During generation, each layer's hidden states live in a temporary buffer
+that the next layer reuses, so they must leave the GPU before the buffer is
+overwritten.  Two strategies are modelled:
+
+- **Two-stage saving** (HCache's design): the whole batch's hidden states
+  are snapshotted to host DRAM with a single ``cudaMemcpy``; a host daemon
+  packs them into chunks and flushes full chunks to the SSDs in the
+  background.  The GPU stalls only if the D2H copy outlasts the layer's
+  compute or the daemon's staging buffer fills — neither happens at decode
+  rates (§6.3.3: ~3 GB/s worst case versus 32 GB/s PCIe).
+- **DirectIO**: hidden states are written straight to their chunks on the
+  SSDs.  With continuous batching, a batch holds tokens from many
+  sequences whose chunks live at scattered locations, so each layer issues
+  ``batch_size`` small synchronous writes.  These serialize on the
+  submission path and stall decoding once they outlast a layer's compute —
+  the degradation Fig. 14 shows growing with batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.simulator.costs import decode_iteration_time
+from repro.simulator.hardware import PM9A3, Platform, SSDSpec
+from repro.storage.daemon import FlushDaemon
+
+
+class SavingStrategy(Protocol):
+    """Anything that can report the GPU stall one layer's saving causes."""
+
+    name: str
+
+    def layer_stall(self, batch_size: int, bytes_per_token: int, layer_time: float) -> float:
+        """Stall added to one layer given the batch's per-token state size."""
+        ...
+
+
+@dataclass
+class NoSaver:
+    """Ideal baseline: states are never saved (no stateful reuse)."""
+
+    name: str = "ideal"
+
+    def layer_stall(self, batch_size: int, bytes_per_token: int, layer_time: float) -> float:
+        return 0.0
+
+
+class TwoStageSaver:
+    """HCache's snapshot-then-flush saving path."""
+
+    name = "two-stage"
+
+    def __init__(self, platform: Platform, daemon: FlushDaemon | None = None) -> None:
+        self.platform = platform
+        self.daemon = daemon if daemon is not None else FlushDaemon(
+            write_bandwidth=platform.storage_write_bandwidth
+        )
+        self._now = 0.0
+
+    def layer_stall(self, batch_size: int, bytes_per_token: int, layer_time: float) -> float:
+        """Per-layer stall: D2H snapshot overlap plus staging pressure.
+
+        The snapshot overlaps the layer's own compute on a dedicated copy
+        stream; the next layer waits only for the snapshot event, so the
+        visible stall is the copy time beyond the layer time.  The daemon
+        then absorbs the bytes; if its staging buffer is full the snapshot
+        blocks until space frees.
+        """
+        if batch_size < 0 or bytes_per_token < 0:
+            raise ConfigError("batch size and state size must be non-negative")
+        nbytes = batch_size * bytes_per_token
+        copy_time = nbytes / (self.platform.gpu.pcie_bandwidth * self.platform.n_gpus)
+        stall = max(0.0, copy_time - layer_time)
+        self._now += layer_time + stall
+        outcome = self.daemon.snapshot(nbytes, self._now)
+        self._now += outcome.stall_seconds
+        return stall + outcome.stall_seconds
+
+
+class DirectIOSaver:
+    """The ablation variant writing hidden states straight to SSD chunks."""
+
+    name = "direct-io"
+
+    def __init__(self, platform: Platform, ssd: SSDSpec | None = None) -> None:
+        self.platform = platform
+        if ssd is not None:
+            self.ssd = ssd
+        elif platform.ssds:
+            self.ssd = platform.ssds[0]
+        else:
+            self.ssd = PM9A3
+
+    def layer_stall(self, batch_size: int, bytes_per_token: int, layer_time: float) -> float:
+        """Per-layer stall of ``batch_size`` serialized small writes.
+
+        Writes overlap the layer's decode compute (double-buffered), so the
+        stall is only the excess — zero for small batches, then growing
+        roughly linearly, matching Fig. 14's shape.
+        """
+        if batch_size < 0 or bytes_per_token < 0:
+            raise ConfigError("batch size and state size must be non-negative")
+        io_time = batch_size * self.ssd.small_write_time(bytes_per_token)
+        return max(0.0, io_time - layer_time)
+
+
+@dataclass(frozen=True)
+class DecodeSavingImpact:
+    """Modelled TBT with a given saving strategy (one decode iteration).
+
+    Attributes:
+        tbt: Time between tokens, including saving stalls.
+        base_tbt: TBT with no saving at all (the Fig. 14 "Ideal" line).
+        stall: Total per-iteration stall caused by saving.
+    """
+
+    tbt: float
+    base_tbt: float
+    stall: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.base_tbt <= 0:
+            return 0.0
+        return (self.tbt - self.base_tbt) / self.base_tbt
+
+
+def decode_tbt_with_saving(
+    config: ModelConfig,
+    platform: Platform,
+    batch_size: int,
+    history_len: int,
+    saver: SavingStrategy,
+) -> DecodeSavingImpact:
+    """TBT of a decode batch when every layer's hidden states are saved.
+
+    ``history_len`` is each sequence's context length (Fig. 14 uses 512).
+    The iteration's compute is spread evenly over layers; each layer then
+    pays its saving stall.
+    """
+    if batch_size <= 0:
+        raise ConfigError("batch size must be positive")
+    base_tbt = decode_iteration_time(
+        config, platform, batch_size, context_tokens=batch_size * history_len
+    )
+    layer_time = base_tbt / config.n_layers
+    total_stall = 0.0
+    for _ in range(config.n_layers):
+        total_stall += saver.layer_stall(
+            batch_size, config.hidden_bytes_per_token_layer, layer_time
+        )
+    return DecodeSavingImpact(tbt=base_tbt + total_stall, base_tbt=base_tbt, stall=total_stall)

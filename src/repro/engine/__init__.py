@@ -1,0 +1,42 @@
+"""LLM serving substrate.
+
+Two engines share the request/batching machinery:
+
+- :class:`ServingSimulator` — discrete-event timing simulation with
+  continuous batching and SplitFuse (reproduces TTFT/TBT under load).
+- :class:`NumericServingEngine` — real numpy forward passes with HCache
+  save/evict/restore (reproduces losslessness end to end).
+"""
+
+from repro.engine.batching import ContinuousBatcher, MemoryBudget
+from repro.engine.metrics import MetricsCollector, RequestRecord, ServingReport
+from repro.engine.numeric_engine import NumericServingEngine, SessionState
+from repro.engine.request import Phase, Request, RequestSpec
+from repro.engine.serving import (
+    EngineConfig,
+    ServingSimulator,
+    concurrent_context_estimate,
+    max_context_tokens,
+    simulate_methods,
+)
+from repro.engine.splitfuse import IterationPlan, SplitFuseScheduler
+
+__all__ = [
+    "ContinuousBatcher",
+    "EngineConfig",
+    "IterationPlan",
+    "MemoryBudget",
+    "MetricsCollector",
+    "NumericServingEngine",
+    "Phase",
+    "Request",
+    "RequestRecord",
+    "RequestSpec",
+    "ServingReport",
+    "ServingSimulator",
+    "SessionState",
+    "SplitFuseScheduler",
+    "concurrent_context_estimate",
+    "max_context_tokens",
+    "simulate_methods",
+]

@@ -1,0 +1,132 @@
+"""Numeric serving engine: real forward passes with HCache state handling.
+
+Where :mod:`repro.engine.serving` models *time*, this engine models
+*values*: it runs the numpy transformer for actual multi-round sessions,
+saves hidden states through the HCache engine as tokens are produced,
+evicts GPU state between rounds, restores it on the next round, and
+generates real tokens.  Correctness tests compare its outputs against an
+uninterrupted run of the same conversation — they must match exactly,
+which is the paper's losslessness claim in executable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hcache import HCacheEngine
+from repro.errors import ConfigError, StateError
+from repro.models.kv_cache import KVCache
+from repro.models.transformer import Transformer
+
+
+@dataclass
+class SessionState:
+    """One conversation's numeric state.
+
+    Attributes:
+        session_id: Stable identity (doubles as the storage context id).
+        tokens: All tokens of the conversation so far, in order.
+        kv_cache: GPU-resident cache, or ``None`` while evicted.
+    """
+
+    session_id: str
+    tokens: list[int] = field(default_factory=list)
+    kv_cache: KVCache | None = None
+
+    @property
+    def on_gpu(self) -> bool:
+        return self.kv_cache is not None
+
+
+class NumericServingEngine:
+    """Executes stateful multi-round generation with HCache restoration."""
+
+    def __init__(self, transformer: Transformer, hcache: HCacheEngine) -> None:
+        if hcache.transformer is not transformer:
+            raise ConfigError("HCache engine must wrap the same transformer")
+        self.transformer = transformer
+        self.hcache = hcache
+        self._sessions: dict[str, SessionState] = {}
+
+    def open_session(self, session_id: str) -> SessionState:
+        """Start a new conversation."""
+        if session_id in self._sessions:
+            raise StateError(f"session {session_id!r} already open")
+        state = SessionState(session_id=session_id)
+        self._sessions[session_id] = state
+        self.hcache.register_context(session_id)
+        return state
+
+    def session(self, session_id: str) -> SessionState:
+        if session_id not in self._sessions:
+            raise StateError(f"session {session_id!r} not open")
+        return self._sessions[session_id]
+
+    def chat_round(
+        self, session_id: str, prompt_tokens: np.ndarray, n_output_tokens: int
+    ) -> list[int]:
+        """Serve one conversation round, restoring evicted state if needed.
+
+        Returns the generated token ids.  States of the new prompt and the
+        generated tokens are saved to host storage as they are produced
+        (layer by layer during the forward pass, matching the paper's
+        saving path).
+        """
+        state = self.session(session_id)
+        prompt_tokens = np.asarray(prompt_tokens)
+        if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+            raise ConfigError("prompt must be a non-empty 1-D token array")
+        if n_output_tokens <= 0:
+            raise ConfigError("output length must be positive")
+
+        if not state.on_gpu:
+            if state.tokens:
+                state.kv_cache = self.hcache.restore(session_id)
+            else:
+                state.kv_cache = KVCache(self.transformer.config)
+        cache = state.kv_cache
+        assert cache is not None
+        if len(cache) != len(state.tokens):
+            raise StateError(
+                f"session {session_id!r}: cache holds {len(cache)} tokens, "
+                f"log has {len(state.tokens)}"
+            )
+
+        result = self.transformer.forward(prompt_tokens, cache, capture_hidden=True)
+        assert result.hidden_states is not None
+        self.hcache.save_states(session_id, result.hidden_states, prompt_tokens, kv_cache=cache)
+        state.tokens.extend(int(t) for t in prompt_tokens)
+
+        generated: list[int] = []
+        logits = result.logits[-1]
+        for _ in range(n_output_tokens):
+            token = int(np.argmax(logits))
+            generated.append(token)
+            step = self.transformer.decode_step(token, cache, capture_hidden=True)
+            assert step.hidden_states is not None
+            self.hcache.save_states(
+                session_id, step.hidden_states, np.array([token]), kv_cache=cache
+            )
+            state.tokens.append(token)
+            logits = step.logits[-1]
+        return generated
+
+    def evict(self, session_id: str) -> None:
+        """Drop a session's GPU state; host storage keeps everything."""
+        state = self.session(session_id)
+        if not state.on_gpu:
+            raise StateError(f"session {session_id!r} is already evicted")
+        self.hcache.seal(session_id)
+        state.kv_cache = None
+
+    def close_session(self, session_id: str) -> None:
+        """End a conversation and free its storage."""
+        state = self.session(session_id)
+        state.kv_cache = None
+        self.hcache.drop_context(session_id)
+        del self._sessions[session_id]
+
+    def gpu_resident_sessions(self) -> tuple[str, ...]:
+        return tuple(s for s, st in self._sessions.items() if st.on_gpu)

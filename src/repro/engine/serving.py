@@ -1,0 +1,292 @@
+"""Discrete-event LLM serving simulation.
+
+Reproduces the serving stack HCache was implemented in (DeepSpeed-MII with
+continuous batching and SplitFuse, §5) as an iteration-level event
+simulation:
+
+- Requests arrive, wait for admission (KV memory), and move through the
+  restoration -> prefill -> decode phases.
+- Every iteration carries one token per decoding sequence plus SplitFuse
+  chunks of pending prefills; its duration comes from the decode bandwidth
+  model plus the chunk compute.
+- Restoration is split into an **IO job** (serialized on the PCIe/storage
+  path, overlapping decode compute) and **compute work** (consumed inside
+  iterations under the same token budget, contending with decode — which
+  is why recomputation hurts TBT and TTFT while KV offload hurts only
+  TTFT, and why HCache's small projection cost leaves TBT within a few
+  percent of ideal, Fig. 9d-f).
+- The recomputation baseline folds history into the prompt (that *is* its
+  restoration, §2.4), so it pays the quadratic prefill through SplitFuse
+  exactly like DeepSpeed-MII does.
+
+The numeric transformer is not executed here — this module is about
+*when* work happens; :mod:`repro.engine.numeric_engine` is about *what*
+it computes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.base import RestorationMethod
+from repro.baselines.ideal import IdealMethod
+from repro.baselines.recomputation import RecomputationMethod
+from repro.engine.batching import ContinuousBatcher, MemoryBudget
+from repro.engine.metrics import MetricsCollector, ServingReport
+from repro.engine.request import Phase, Request, RequestSpec
+from repro.engine.splitfuse import SplitFuseScheduler
+from repro.errors import ConfigError, SimulationError
+from repro.models.config import ModelConfig
+from repro.simulator.costs import decode_iteration_time, full_layer_flops
+from repro.simulator.hardware import Platform
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the serving simulation.
+
+    Attributes:
+        budget_tokens: SplitFuse per-iteration token budget.
+        activation_reserve: HBM fraction reserved for activations.
+        max_running: Concurrency cap of the running batch.
+        max_sim_seconds: Safety horizon; the run aborts past it.
+    """
+
+    budget_tokens: int = 512
+    activation_reserve: float = 0.05
+    max_running: int = 256
+    max_sim_seconds: float = 24 * 3600.0
+
+
+class ServingSimulator:
+    """Iteration-level serving simulation for one restoration method."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        platform: Platform,
+        method: RestorationMethod,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.platform = platform
+        self.method = method
+        self.engine_config = engine_config or EngineConfig()
+        budget = MemoryBudget.for_platform(
+            config, platform, self.engine_config.activation_reserve
+        )
+        self.batcher = ContinuousBatcher(budget, self.engine_config.max_running)
+        self.splitfuse = SplitFuseScheduler(self.engine_config.budget_tokens)
+        flops_per_token = config.n_layers * full_layer_flops(config, 1)
+        self._prefill_sec_per_token = flops_per_token / (
+            platform.total_flops * platform.prefill_efficiency
+        )
+        self._io_free_at = 0.0
+        self._now = 0.0
+        self.metrics = MetricsCollector()
+        self._finished_sessions: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+
+    def _make_request(self, spec: RequestSpec) -> Request:
+        request = Request(spec=spec)
+        if spec.history_tokens == 0 or isinstance(self.method, IdealMethod):
+            request.restore_io_remaining = 0.0
+            request.restore_compute_remaining = 0.0
+        elif isinstance(self.method, RecomputationMethod):
+            # History becomes prompt work: the prefill *is* the restoration.
+            request.prefill_remaining = spec.history_tokens + spec.input_tokens
+        else:
+            timing = self.method.restoration_timing(spec.history_tokens)
+            request.restore_io_remaining = timing.io_busy
+            request.restore_compute_remaining = timing.compute_busy
+        return request
+
+    def _admit(self) -> None:
+        for request in self.batcher.admit(self._now, self._finished_sessions):
+            needs_restore = (
+                request.restore_io_remaining > 0 or request.restore_compute_remaining > 0
+            )
+            if needs_restore:
+                request.phase = Phase.RESTORING
+                start = max(self._now, self._io_free_at)
+                request.restore_started_at = start
+                if request.restore_io_remaining > 0:
+                    request.restore_io_done_at = start + request.restore_io_remaining
+                    self._io_free_at = request.restore_io_done_at
+                else:
+                    request.restore_io_done_at = self._now
+            else:
+                request.phase = Phase.PREFILLING
+                request.restore_started_at = self._now
+                request.restore_finished_at = self._now
+
+    def _complete_restorations(self) -> None:
+        for request in self.batcher.restoring():
+            io_done = self._now + 1e-12 >= request.restore_io_done_at
+            compute_done = request.restore_compute_remaining <= 1e-12
+            if io_done and compute_done:
+                request.restore_finished_at = max(
+                    request.restore_io_done_at, request.restore_started_at, self._now
+                )
+                request.phase = Phase.PREFILLING
+
+    # ------------------------------------------------------------------
+    # iterations
+    # ------------------------------------------------------------------
+
+    def _iteration(self) -> bool:
+        """Run one iteration; returns False when there was nothing to do."""
+        decoding = self.batcher.decoding()
+        prefilling = self.batcher.prefilling()
+        restoring = [
+            r
+            for r in self.batcher.restoring()
+            if r.restore_compute_remaining > 1e-12
+            and self._now + 1e-12 >= request_io_start(r)
+        ]
+        plan = self.splitfuse.plan(decoding, prefilling)
+        if not plan.has_work and not restoring:
+            return False
+
+        duration = self.platform.iteration_overhead
+        context_tokens = sum(r.context_tokens for r in decoding)
+        if decoding:
+            duration += decode_iteration_time(
+                self.config, self.platform, len(decoding), context_tokens
+            )
+        if plan.prefill_tokens:
+            duration += plan.prefill_tokens * self._prefill_sec_per_token
+
+        # Restoration compute shares the leftover SplitFuse budget so it
+        # cannot starve decoding (the projection GEMMs are a few hundred
+        # microseconds; recompute-prefix work is bigger but still bounded).
+        budget_left = max(0, self.splitfuse.budget_tokens - plan.budget_used)
+        restore_capacity = budget_left * self._prefill_sec_per_token
+        if not plan.has_work:
+            restore_capacity = self.splitfuse.budget_tokens * self._prefill_sec_per_token
+        for request in restoring:
+            if restore_capacity <= 0:
+                break
+            slice_sec = min(request.restore_compute_remaining, restore_capacity)
+            request.restore_compute_remaining -= slice_sec
+            restore_capacity -= slice_sec
+            duration += slice_sec
+
+        self._now += duration
+
+        for request, tokens in plan.prefill_chunks:
+            request.prefill_remaining -= tokens
+            if request.prefill_remaining < 0:
+                raise SimulationError("prefill chunk exceeded the remaining prompt")
+            if request.prefill_remaining == 0:
+                request.mark_first_token(self._now)
+                if request.decoded_tokens >= request.spec.output_tokens:
+                    self._finish(request)
+        for request in plan.decode_requests:
+            request.decoded_tokens += 1
+            if request.decoded_tokens >= request.spec.output_tokens:
+                request.mark_finished(self._now)
+                self._release(request)
+        return True
+
+    def _finish(self, request: Request) -> None:
+        request.mark_finished(self._now)
+        self._release(request)
+
+    def _release(self, request: Request) -> None:
+        self.batcher.release(request)
+        self.metrics.observe(request)
+        self._finished_sessions.add(request.spec.request_id)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, specs: list[RequestSpec]) -> ServingReport:
+        """Simulate serving ``specs`` to completion and summarize."""
+        if not specs:
+            raise ConfigError("no requests to serve")
+        pending = sorted(specs, key=lambda s: s.arrival_time)
+        capacity = self.batcher.budget.capacity_tokens
+        for spec in pending:
+            if spec.total_context > capacity:
+                raise ConfigError(
+                    f"request {spec.request_id} needs {spec.total_context} KV tokens; "
+                    f"capacity is {capacity} (shrink the trace or the model)"
+                )
+        idx = 0
+        horizon = self.engine_config.max_sim_seconds
+        while idx < len(pending) or not self.batcher.idle:
+            if self._now > horizon:
+                raise SimulationError(f"simulation exceeded {horizon}s; likely overload")
+            while idx < len(pending) and pending[idx].arrival_time <= self._now + 1e-12:
+                self.batcher.enqueue(self._make_request(pending[idx]))
+                idx += 1
+            self._admit()
+            self._complete_restorations()
+            progressed = self._iteration()
+            if progressed:
+                continue
+            # Nothing computable: advance to the next event.
+            next_times = []
+            if idx < len(pending):
+                next_times.append(pending[idx].arrival_time)
+            for request in self.batcher.restoring():
+                next_times.append(request.restore_io_done_at)
+            if not next_times:
+                if self.batcher.queue:
+                    # Memory/dependency deadlock cannot resolve on its own.
+                    raise SimulationError(
+                        "queued requests can never be admitted "
+                        "(memory too small or dependency missing)"
+                    )
+                break
+            next_time = min(next_times)
+            if next_time <= self._now:
+                next_time = self._now + 1e-6
+            self._now = next_time
+        return self.metrics.summarize()
+
+
+def request_io_start(request: Request) -> float:
+    """When a restoring request's pipelined compute may begin.
+
+    HCache's projections start as soon as the first hidden-state chunks
+    arrive, i.e. with the IO job's start rather than its completion.
+    """
+    return request.restore_started_at
+
+
+def simulate_methods(
+    config: ModelConfig,
+    platform: Platform,
+    methods: dict[str, RestorationMethod],
+    specs: list[RequestSpec],
+    engine_config: EngineConfig | None = None,
+) -> dict[str, ServingReport]:
+    """Run the same trace through several restoration methods."""
+    reports: dict[str, ServingReport] = {}
+    for name, method in methods.items():
+        simulator = ServingSimulator(config, platform, method, engine_config)
+        reports[name] = simulator.run(list(specs))
+    return reports
+
+
+def max_context_tokens(
+    config: ModelConfig, platform: Platform, activation_reserve: float = 0.05
+) -> int:
+    """Convenience: the §2.4 KV-capacity arithmetic, in tokens."""
+    return MemoryBudget.for_platform(config, platform, activation_reserve).capacity_tokens
+
+
+def concurrent_context_estimate(
+    config: ModelConfig, platform: Platform, context_len: int
+) -> int:
+    """How many contexts of ``context_len`` fit on the GPU at once (§2.4)."""
+    if context_len <= 0:
+        raise ConfigError("context_len must be positive")
+    return int(math.floor(max_context_tokens(config, platform) / context_len))

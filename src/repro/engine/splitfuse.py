@@ -1,0 +1,78 @@
+"""SplitFuse chunked-prefill budgeting [Sarathi-Serve / DeepSpeed-FastGen].
+
+Each iteration carries at most ``budget`` tokens of forward work: one token
+per decoding sequence plus chunks of pending prefills.  Long prompts are
+split across iterations and fused with decoding so prefills do not stall
+token generation — the mechanism HCache's serving integration inherits from
+DeepSpeed-MII (§5, Request scheduling).  The budget defaults to a
+cuBLAS-optimized size, matching §4.1.1's mini-batch observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.request import Phase, Request
+from repro.errors import ConfigError
+from repro.simulator.gemm import optimal_batch_tokens
+
+
+@dataclass(frozen=True)
+class IterationPlan:
+    """Work selected for one engine iteration.
+
+    Attributes:
+        decode_requests: Sequences generating one token each.
+        prefill_chunks: ``(request, tokens)`` pairs of prompt work.
+        budget_used: Total forward tokens this iteration.
+    """
+
+    decode_requests: tuple[Request, ...]
+    prefill_chunks: tuple[tuple[Request, int], ...]
+    budget_used: int
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(tokens for _, tokens in self.prefill_chunks)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.decode_requests or self.prefill_chunks)
+
+
+class SplitFuseScheduler:
+    """Selects per-iteration work under a token budget."""
+
+    def __init__(self, budget_tokens: int = 512) -> None:
+        if budget_tokens <= 0:
+            raise ConfigError("token budget must be positive")
+        self.budget_tokens = optimal_batch_tokens(budget_tokens)
+        if self.budget_tokens <= 0:
+            self.budget_tokens = budget_tokens
+
+    def plan(self, decoding: list[Request], prefilling: list[Request]) -> IterationPlan:
+        """Build one iteration: decodes first, then FCFS prefill chunks."""
+        for request in decoding:
+            if request.phase is not Phase.DECODING:
+                raise ConfigError("decode list contains a non-decoding request")
+        budget = self.budget_tokens
+        used = min(len(decoding), budget)
+        # Decoding tokens always fit: generation must not starve (§2.2).
+        used = len(decoding)
+        chunks: list[tuple[Request, int]] = []
+        remaining = max(0, budget - used)
+        for request in prefilling:
+            if request.phase is not Phase.PREFILLING:
+                raise ConfigError("prefill list contains a non-prefilling request")
+            if remaining <= 0:
+                break
+            take = min(request.prefill_remaining, remaining)
+            if take > 0:
+                chunks.append((request, take))
+                remaining -= take
+                used += take
+        return IterationPlan(
+            decode_requests=tuple(decoding),
+            prefill_chunks=tuple(chunks),
+            budget_used=used,
+        )

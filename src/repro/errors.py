@@ -1,0 +1,44 @@
+"""Exception hierarchy for the HCache reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid model, hardware, or scheduler configuration was supplied."""
+
+
+class CapacityError(ReproError):
+    """A storage or memory capacity limit was exceeded."""
+
+
+class AllocationError(CapacityError):
+    """A chunk or block allocation could not be satisfied."""
+
+
+class SchedulingError(ReproError):
+    """The restoration scheduler could not produce a valid partition."""
+
+
+class StateError(ReproError):
+    """An object was used in a way that violates its lifecycle.
+
+    Examples: restoring a session whose states were never saved, finishing a
+    request twice, or reading a chunk that was already freed.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class RestorationError(ReproError):
+    """A state restoration failed or produced inconsistent results."""

@@ -1,0 +1,24 @@
+"""Transformer model substrate: configs for the evaluated LLMs plus a real
+numpy implementation used to validate HCache's lossless restoration."""
+
+from repro.models.config import FP16_BYTES, MODELS, ModelConfig, model_preset
+from repro.models.kv_cache import KVCache
+from repro.models.sampler import greedy, sample_temperature, sample_top_k
+from repro.models.transformer import ForwardResult, Transformer
+from repro.models.weights import LayerWeights, ModelWeights, init_weights
+
+__all__ = [
+    "FP16_BYTES",
+    "MODELS",
+    "ForwardResult",
+    "KVCache",
+    "LayerWeights",
+    "ModelConfig",
+    "ModelWeights",
+    "Transformer",
+    "greedy",
+    "init_weights",
+    "model_preset",
+    "sample_temperature",
+    "sample_top_k",
+]

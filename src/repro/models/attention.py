@@ -1,0 +1,91 @@
+"""Multi-head attention with KV-cache semantics.
+
+Implements the attention equations of §2.1: per-token Q/K/V projections,
+softmaxed scaled dot-product over all cached positions, weighted average of
+values, and the output projection.  Supports GQA by repeating KV heads,
+which the paper lists as an extension (§7); all paper experiments use MHA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.models.tensor_ops import causal_mask, softmax
+
+
+def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """Reshape ``(n, heads * head_dim)`` to ``(n, heads, head_dim)``."""
+    n, width = x.shape
+    if width % n_heads != 0:
+        raise ConfigError(f"width {width} not divisible by {n_heads} heads")
+    return x.reshape(n, n_heads, width // n_heads)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`."""
+    n, heads, head_dim = x.shape
+    return x.reshape(n, heads * head_dim)
+
+
+def repeat_kv(x: np.ndarray, n_rep: int) -> np.ndarray:
+    """Repeat KV heads for grouped-query attention."""
+    if n_rep == 1:
+        return x
+    return np.repeat(x, n_rep, axis=1)
+
+
+def scaled_dot_product_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    query_offset: int,
+) -> np.ndarray:
+    """Causal attention over cached keys/values.
+
+    Args:
+        queries: ``(n_q, n_heads, head_dim)`` for the new tokens.
+        keys: ``(n_k, n_heads, head_dim)`` — full history including the new
+            tokens' own keys.
+        values: Same shape as ``keys``.
+        query_offset: Absolute position of the first query token; query
+            ``i`` may attend to key positions ``<= query_offset + i``.
+
+    Returns:
+        ``(n_q, n_heads, head_dim)`` attention output.
+    """
+    n_q, n_heads, head_dim = queries.shape
+    n_k = keys.shape[0]
+    if keys.shape != values.shape:
+        raise ConfigError("keys and values must share a shape")
+    if keys.shape[1] != n_heads:
+        raise ConfigError(f"key heads {keys.shape[1]} mismatch query heads {n_heads}")
+    scale = 1.0 / np.sqrt(head_dim)
+    # (heads, n_q, n_k)
+    scores = np.einsum("qhd,khd->hqk", queries, keys) * scale
+    mask = causal_mask(n_q, n_k, query_offset)[None, :, :]
+    scores = np.where(mask, scores, np.float32(-1e30))
+    probs = softmax(scores, axis=-1)
+    out = np.einsum("hqk,khd->qhd", probs, values)
+    return out.astype(np.float32)
+
+
+def attention_module(
+    hidden_norm: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    config: ModelConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project normalized hidden states into per-head Q, K, V.
+
+    Returns Q of shape ``(n, n_heads, head_dim)`` and K/V of shape
+    ``(n, n_kv_heads, head_dim)`` — RoPE is applied by the caller because
+    it needs absolute positions (the detail HCache's restoration kernel
+    must replay, §5).
+    """
+    q = split_heads(hidden_norm @ wq, config.n_heads)
+    k = split_heads(hidden_norm @ wk, config.n_kv_heads)
+    v = split_heads(hidden_norm @ wv, config.n_kv_heads)
+    return q, k, v

@@ -1,0 +1,36 @@
+"""Feed-forward network modules.
+
+Two variants cover the evaluated model families: the three-matrix SwiGLU
+FFN of Llama2 and the classic two-matrix GELU FFN of OPT.  Together with
+attention these are exactly the modules HCache's restoration *skips* — the
+source of its >= 6x compute saving (§3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.tensor_ops import gelu, silu
+from repro.models.weights import LayerWeights
+
+
+def swiglu_ffn(x: np.ndarray, weights: LayerWeights) -> np.ndarray:
+    """Llama2-style FFN: ``down(silu(gate(x)) * up(x))``."""
+    if weights.w_gate is None:
+        raise ConfigError("SwiGLU FFN requires a gate projection")
+    return (silu(x @ weights.w_gate) * (x @ weights.w_up)) @ weights.w_down
+
+
+def gelu_ffn(x: np.ndarray, weights: LayerWeights) -> np.ndarray:
+    """OPT-style FFN: ``fc2(gelu(fc1(x)))``."""
+    return gelu(x @ weights.w_up) @ weights.w_down
+
+
+def ffn_forward(x: np.ndarray, weights: LayerWeights, n_ffn_mats: int) -> np.ndarray:
+    """Dispatch to the configured FFN variant."""
+    if n_ffn_mats == 3:
+        return swiglu_ffn(x, weights)
+    if n_ffn_mats == 2:
+        return gelu_ffn(x, weights)
+    raise ConfigError(f"unsupported FFN matrix count {n_ffn_mats}")

@@ -1,0 +1,128 @@
+"""Per-layer KV cache with exact content semantics.
+
+The cache stores keys and values per layer as ``(n_tokens, n_kv_heads,
+head_dim)`` arrays.  It supports the three ways state enters it in this
+reproduction: normal prefill/decode appends, bulk installation from a
+restoration (HCache projection, KV offload fetch, or prefix recompute),
+and truncation for eviction experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, StateError
+from repro.models.config import ModelConfig
+
+
+class KVCache:
+    """Key/value tensors for every layer of one sequence."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        shape = (0, config.n_kv_heads, config.head_dim)
+        self._keys = [np.empty(shape, dtype=np.float32) for _ in range(config.n_layers)]
+        self._values = [np.empty(shape, dtype=np.float32) for _ in range(config.n_layers)]
+
+    def __len__(self) -> int:
+        """Token count of the sequence (equal across layers)."""
+        lengths = {k.shape[0] for k in self._keys}
+        if len(lengths) != 1:
+            raise StateError(f"layers disagree on cached length: {sorted(lengths)}")
+        return lengths.pop()
+
+    def layer_len(self, layer: int) -> int:
+        return self._keys[layer].shape[0]
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.config.n_layers:
+            raise ConfigError(f"layer {layer} out of range")
+
+    def _check_shape(self, tensor: np.ndarray, name: str) -> np.ndarray:
+        tensor = np.asarray(tensor, dtype=np.float32)
+        if tensor.ndim != 3 or tensor.shape[1:] != (self.config.n_kv_heads, self.config.head_dim):
+            raise ConfigError(
+                f"{name} must be (n, {self.config.n_kv_heads}, {self.config.head_dim}), "
+                f"got {tensor.shape}"
+            )
+        return tensor
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append newly computed K/V rows for one layer."""
+        self._check_layer(layer)
+        keys = self._check_shape(keys, "keys")
+        values = self._check_shape(values, "values")
+        if keys.shape[0] != values.shape[0]:
+            raise ConfigError("keys and values must cover the same tokens")
+        self._keys[layer] = np.concatenate([self._keys[layer], keys], axis=0)
+        self._values[layer] = np.concatenate([self._values[layer], values], axis=0)
+
+    def install(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Replace one layer's content wholesale (restoration path)."""
+        self._check_layer(layer)
+        keys = self._check_shape(keys, "keys")
+        values = self._check_shape(values, "values")
+        if keys.shape[0] != values.shape[0]:
+            raise ConfigError("keys and values must cover the same tokens")
+        self._keys[layer] = np.array(keys, copy=True)
+        self._values[layer] = np.array(values, copy=True)
+
+    def get(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(keys, values)`` views for one layer."""
+        self._check_layer(layer)
+        return self._keys[layer], self._values[layer]
+
+    def truncate(self, n_tokens: int) -> None:
+        """Drop cached state beyond ``n_tokens`` on every layer."""
+        if n_tokens < 0:
+            raise ConfigError("cannot truncate to a negative length")
+        for layer in range(self.config.n_layers):
+            self._keys[layer] = self._keys[layer][:n_tokens]
+            self._values[layer] = self._values[layer][:n_tokens]
+
+    def clear(self) -> None:
+        """Evict everything (state moves to host storage in HCache)."""
+        self.truncate(0)
+
+    def packed_layer(self, layer: int) -> np.ndarray:
+        """One layer's K and V concatenated per token: ``(n, 2 * kv_size)``.
+
+        This is the on-storage format for KV-offloaded layers: K rows then
+        V rows, flattened per token.
+        """
+        keys, values = self.get(layer)
+        n = keys.shape[0]
+        flat_k = keys.reshape(n, -1)
+        flat_v = values.reshape(n, -1)
+        return np.concatenate([flat_k, flat_v], axis=1)
+
+    def install_packed(self, layer: int, packed: np.ndarray) -> None:
+        """Inverse of :meth:`packed_layer`."""
+        packed = np.asarray(packed, dtype=np.float32)
+        kv_size = self.config.kv_size
+        if packed.ndim != 2 or packed.shape[1] != 2 * kv_size:
+            raise ConfigError(f"packed KV must be (n, {2 * kv_size}), got {packed.shape}")
+        n = packed.shape[0]
+        shape = (n, self.config.n_kv_heads, self.config.head_dim)
+        self.install(layer, packed[:, :kv_size].reshape(shape), packed[:, kv_size:].reshape(shape))
+
+    def nbytes(self) -> int:
+        """Total cached bytes across layers (at the array dtype width)."""
+        return sum(k.nbytes + v.nbytes for k, v in zip(self._keys, self._values))
+
+    def equals(self, other: "KVCache", atol: float = 0.0) -> bool:
+        """Exact (default) or tolerant comparison with another cache."""
+        if self.config.n_layers != other.config.n_layers:
+            return False
+        for layer in range(self.config.n_layers):
+            k1, v1 = self.get(layer)
+            k2, v2 = other.get(layer)
+            if k1.shape != k2.shape or v1.shape != v2.shape:
+                return False
+            if atol == 0.0:
+                if not (np.array_equal(k1, k2) and np.array_equal(v1, v2)):
+                    return False
+            else:
+                if not (np.allclose(k1, k2, atol=atol) and np.allclose(v1, v2, atol=atol)):
+                    return False
+        return True

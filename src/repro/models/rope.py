@@ -1,0 +1,58 @@
+"""Rotary position embedding (RoPE) [Su et al., 2024].
+
+HCache's restoration path re-applies RoPE to recomputed keys (§5: "we write
+a custom kernel to apply the ROPE position embedding to the recomputed KV
+values"), so the reproduction implements it exactly: restoration must know
+each token's absolute position to regenerate a bit-identical key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for each rotary pair, shape ``(head_dim // 2,)``."""
+    if head_dim <= 0 or head_dim % 2 != 0:
+        raise ConfigError(f"RoPE head_dim must be positive and even, got {head_dim}")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return (base**-exponents).astype(np.float32)
+
+
+def rope_angles(positions: np.ndarray, head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Rotation angles, shape ``(n_tokens, head_dim // 2)``."""
+    positions = np.asarray(positions, dtype=np.float32)
+    if positions.ndim != 1:
+        raise ConfigError("positions must be a 1-D array of absolute token positions")
+    return positions[:, None] * rope_frequencies(head_dim, base)[None, :]
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
+    """Rotate query/key vectors by their position-dependent angles.
+
+    Args:
+        x: Array of shape ``(n_tokens, n_heads, head_dim)``.
+        positions: Absolute position of each token, shape ``(n_tokens,)``.
+        base: RoPE base frequency.
+
+    Returns:
+        Rotated array of the same shape and dtype as ``x``.  Uses the
+        half-split ("rotate half") convention of Llama2.
+    """
+    if x.ndim != 3:
+        raise ConfigError(f"expected (tokens, heads, head_dim), got shape {x.shape}")
+    n_tokens, _, head_dim = x.shape
+    positions = np.asarray(positions)
+    if positions.shape != (n_tokens,):
+        raise ConfigError(
+            f"positions shape {positions.shape} mismatches token count {n_tokens}"
+        )
+    angles = rope_angles(positions, head_dim, base)  # (n, hd/2)
+    cos = np.cos(angles)[:, None, :]  # (n, 1, hd/2)
+    sin = np.sin(angles)[:, None, :]
+    half = head_dim // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    rotated = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+    return rotated.astype(x.dtype)

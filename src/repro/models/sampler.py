@@ -1,0 +1,37 @@
+"""Token sampling strategies for the numpy transformer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.tensor_ops import softmax
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Deterministic argmax sampling — used by every correctness test so
+    interrupted and uninterrupted runs can be compared token for token."""
+    return int(np.argmax(np.asarray(logits)))
+
+
+def sample_temperature(
+    logits: np.ndarray, temperature: float, rng: np.random.Generator
+) -> int:
+    """Sample from the temperature-scaled distribution."""
+    if temperature <= 0:
+        raise ConfigError("temperature must be positive; use greedy() for argmax")
+    probs = softmax(np.asarray(logits, dtype=np.float64) / temperature)
+    return int(rng.choice(probs.size, p=probs))
+
+
+def sample_top_k(
+    logits: np.ndarray, k: int, temperature: float, rng: np.random.Generator
+) -> int:
+    """Top-k sampling with temperature."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if k <= 0:
+        raise ConfigError("k must be positive")
+    k = min(k, logits.size)
+    top = np.argpartition(logits, -k)[-k:]
+    probs = softmax(logits[top] / max(temperature, 1e-9))
+    return int(top[rng.choice(k, p=probs)])

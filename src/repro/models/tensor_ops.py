@@ -1,0 +1,65 @@
+"""Numerically stable tensor primitives for the numpy transformer.
+
+All functions are pure and operate on ``float32`` arrays (the reproduction's
+stand-in for the serving system's FP16: float32 keeps the lossless-restore
+property easy to assert exactly while preserving every structural detail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalization (Llama2-style)."""
+    if x.shape[-1] != weight.shape[-1]:
+        raise ConfigError(f"rmsnorm weight {weight.shape} mismatches input {x.shape}")
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def layernorm(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None, eps: float = 1e-5
+) -> np.ndarray:
+    """Classic layer normalization (OPT-style)."""
+    if x.shape[-1] != weight.shape[-1]:
+        raise ConfigError(f"layernorm weight {weight.shape} mismatches input {x.shape}")
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.var(x, axis=-1, keepdims=True)
+    out = (x - mean) / np.sqrt(variance + eps) * weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit, the SwiGLU gate activation."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as in GPT/OPT)."""
+    c = np.sqrt(2.0 / np.pi).astype(x.dtype) if hasattr(x, "dtype") else np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * np.power(x, 3))))
+
+
+def causal_mask(n_queries: int, n_keys: int, query_offset: int) -> np.ndarray:
+    """Boolean mask: ``mask[i, j]`` is True where query ``i`` may attend.
+
+    Query ``i`` sits at absolute position ``query_offset + i`` and may
+    attend to key positions ``0..query_offset + i`` inclusive.
+    """
+    if n_queries < 0 or n_keys < 0 or query_offset < 0:
+        raise ConfigError("mask dimensions must be non-negative")
+    q_pos = np.arange(n_queries)[:, None] + query_offset
+    k_pos = np.arange(n_keys)[None, :]
+    return k_pos <= q_pos

@@ -1,0 +1,272 @@
+"""A numpy decoder-only transformer with hidden-state capture.
+
+This is the executable substrate behind HCache's correctness story.  The
+model runs real forward passes (prefill and decode) over a KV cache and can
+*capture* the hidden states that enter each layer — exactly the tensors
+HCache persists.  Its :meth:`Transformer.project_kv` method is the paper's
+restoration operator (Eq. in §3.1):
+
+    ``K_L = RoPE(W_k . norm(H_L))``,  ``V_L = W_v . norm(H_L)``
+
+where ``H_L`` is the residual-stream input of layer ``L``.  Because the
+projection replays the very computation the forward pass performed, the
+restored KV cache matches the original exactly — the losslessness property
+the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.attention import (
+    attention_module,
+    merge_heads,
+    repeat_kv,
+    scaled_dot_product_attention,
+)
+from repro.models.config import ModelConfig
+from repro.models.ffn import ffn_forward
+from repro.models.kv_cache import KVCache
+from repro.models.rope import apply_rope
+from repro.models.tensor_ops import layernorm, rmsnorm
+from repro.models.weights import LayerWeights, ModelWeights, init_weights
+
+
+@dataclass
+class ForwardResult:
+    """Output of one forward pass over a block of new tokens.
+
+    Attributes:
+        logits: ``(n_tokens, vocab)`` next-token logits.
+        hidden_states: When captured, one ``(n_tokens, hidden)`` array per
+            layer holding the residual-stream input of that layer — the
+            state HCache saves.  ``None`` otherwise.
+    """
+
+    logits: np.ndarray
+    hidden_states: list[np.ndarray] | None = None
+
+
+class Transformer:
+    """Decoder-only transformer executing real numpy arithmetic."""
+
+    def __init__(self, config: ModelConfig, weights: ModelWeights) -> None:
+        if len(weights.layers) != config.n_layers:
+            raise ConfigError(
+                f"weights have {len(weights.layers)} layers, config wants {config.n_layers}"
+            )
+        self.config = config
+        self.weights = weights
+
+    @classmethod
+    def from_seed(cls, config: ModelConfig, seed: int = 0) -> "Transformer":
+        """Build a model with deterministic random weights."""
+        return cls(config, init_weights(config, seed))
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+
+    def _norm(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        if self.config.norm == "rmsnorm":
+            return rmsnorm(x, weight)
+        return layernorm(x, weight)
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Look up token embeddings, shape ``(n, hidden)``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ConfigError("tokens must be a 1-D array of ids")
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.config.vocab_size):
+            raise ConfigError("token id out of vocabulary range")
+        return self.weights.embedding[tokens]
+
+    def compute_qkv(
+        self, layer: int, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project a layer's input hidden states into rotated Q, K, V."""
+        w = self.weights.layers[layer]
+        normed = self._norm(hidden, w.attn_norm)
+        q, k, v = attention_module(normed, w.wq, w.wk, w.wv, self.config)
+        if self.config.rope:
+            q = apply_rope(q, positions)
+            k = apply_rope(k, positions)
+        return q, k, v
+
+    def project_kv(
+        self, layer: int, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """HCache's restoration operator: hidden states -> (K, V).
+
+        This is the lightweight GEMM pair (plus RoPE on K) that replaces a
+        full prefill when restoring layer ``layer`` — no attention, no FFN.
+        """
+        w = self.weights.layers[layer]
+        normed = self._norm(np.asarray(hidden, dtype=np.float32), w.attn_norm)
+        from repro.models.attention import split_heads  # local to avoid cycle noise
+
+        k = split_heads(normed @ w.wk, self.config.n_kv_heads)
+        v = split_heads(normed @ w.wv, self.config.n_kv_heads)
+        if self.config.rope:
+            k = apply_rope(k, positions)
+        return k, v
+
+    def layer_forward(
+        self,
+        layer: int,
+        hidden: np.ndarray,
+        kv_cache: KVCache,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Run one transformer layer over a block of new tokens.
+
+        Appends the block's K/V to the cache, attends over the whole cached
+        history, and returns the next layer's input hidden states.
+        Positions must be the contiguous range continuing the cache.
+        """
+        positions = np.asarray(positions)
+        if kv_cache.layer_len(layer) != positions[0]:
+            raise ConfigError(
+                f"layer {layer}: cache has {kv_cache.layer_len(layer)} tokens but "
+                f"block starts at position {positions[0]}"
+            )
+        w: LayerWeights = self.weights.layers[layer]
+        q, k, v = self.compute_qkv(layer, hidden, positions)
+        kv_cache.append(layer, k, v)
+        keys, values = kv_cache.get(layer)
+        n_rep = self.config.n_heads // self.config.n_kv_heads
+        attn = scaled_dot_product_attention(
+            q, repeat_kv(keys, n_rep), repeat_kv(values, n_rep), query_offset=int(positions[0])
+        )
+        hidden = hidden + merge_heads(attn) @ w.wo
+        normed = self._norm(hidden, w.ffn_norm)
+        return hidden + ffn_forward(normed, w, self.config.n_ffn_mats)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        kv_cache: KVCache,
+        capture_hidden: bool = False,
+    ) -> ForwardResult:
+        """Process a block of new tokens on top of the cached history.
+
+        The block's absolute positions continue the cache: token ``i`` of
+        the block sits at position ``len(kv_cache) + i``.
+        """
+        tokens = np.asarray(tokens)
+        start = len(kv_cache)
+        if start + tokens.size > self.config.max_context:
+            raise ConfigError(
+                f"context {start + tokens.size} exceeds max {self.config.max_context}"
+            )
+        positions = np.arange(start, start + tokens.size)
+        hidden = self.embed(tokens)
+        captured: list[np.ndarray] | None = [] if capture_hidden else None
+        for layer in range(self.config.n_layers):
+            if captured is not None:
+                captured.append(np.array(hidden, copy=True))
+            hidden = self.layer_forward(layer, hidden, kv_cache, positions)
+        final = self._norm(hidden, self.weights.final_norm)
+        logits = final @ self.weights.lm_head
+        return ForwardResult(logits=logits, hidden_states=captured)
+
+    def prefill(
+        self, tokens: np.ndarray, kv_cache: KVCache | None = None, capture_hidden: bool = False
+    ) -> tuple[ForwardResult, KVCache]:
+        """Convenience: forward a prompt into a (new) cache."""
+        cache = kv_cache if kv_cache is not None else KVCache(self.config)
+        result = self.forward(tokens, cache, capture_hidden=capture_hidden)
+        return result, cache
+
+    def decode_step(
+        self, token: int, kv_cache: KVCache, capture_hidden: bool = False
+    ) -> ForwardResult:
+        """Autoregressively process one token."""
+        return self.forward(np.array([token]), kv_cache, capture_hidden=capture_hidden)
+
+    # ------------------------------------------------------------------
+    # restoration helpers
+    # ------------------------------------------------------------------
+
+    def restore_cache_from_hidden(
+        self, hidden_states: list[np.ndarray], positions: np.ndarray | None = None
+    ) -> KVCache:
+        """Rebuild a full KV cache from per-layer hidden states.
+
+        ``hidden_states[L]`` must be the ``(n, hidden)`` residual input of
+        layer ``L`` for the whole history (what ``capture_hidden`` returns
+        and what the storage manager persists).
+        """
+        if len(hidden_states) != self.config.n_layers:
+            raise ConfigError(
+                f"need hidden states for all {self.config.n_layers} layers, "
+                f"got {len(hidden_states)}"
+            )
+        n = hidden_states[0].shape[0]
+        pos = np.arange(n) if positions is None else np.asarray(positions)
+        cache = KVCache(self.config)
+        for layer, hidden in enumerate(hidden_states):
+            if hidden.shape[0] != n:
+                raise ConfigError("all layers must cover the same tokens")
+            k, v = self.project_kv(layer, hidden, pos)
+            cache.install(layer, k, v)
+        return cache
+
+    def recompute_prefix(
+        self, tokens: np.ndarray, n_prefix_layers: int
+    ) -> tuple[KVCache, np.ndarray]:
+        """Token-recompute the first ``n_prefix_layers`` layers.
+
+        Used by the bubble-free scheduler's recompute-complement mode: the
+        prefix layers' KV comes from a partial forward pass over the
+        original tokens.  Returns a cache filled for the prefix layers only
+        plus the hidden states entering layer ``n_prefix_layers``.
+        """
+        if not 0 <= n_prefix_layers <= self.config.n_layers:
+            raise ConfigError(f"prefix layer count {n_prefix_layers} out of range")
+        tokens = np.asarray(tokens)
+        positions = np.arange(tokens.size)
+        cache = KVCache(self.config)
+        hidden = self.embed(tokens)
+        for layer in range(n_prefix_layers):
+            hidden = self.layer_forward(layer, hidden, cache, positions)
+        return cache, hidden
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        n_new_tokens: int,
+        kv_cache: KVCache | None = None,
+        capture_hidden: bool = False,
+    ) -> tuple[list[int], KVCache, list[np.ndarray] | None]:
+        """Greedy generation, optionally capturing all hidden states.
+
+        Returns the generated token ids, the final cache, and — when
+        capturing — per-layer hidden states covering prompt plus generated
+        tokens in position order.
+        """
+        cache = kv_cache if kv_cache is not None else KVCache(self.config)
+        captured: list[np.ndarray] | None = None
+        result = self.forward(np.asarray(prompt), cache, capture_hidden=capture_hidden)
+        if capture_hidden and result.hidden_states is not None:
+            captured = [np.array(h, copy=True) for h in result.hidden_states]
+        tokens: list[int] = []
+        logits = result.logits[-1]
+        for _ in range(n_new_tokens):
+            token = int(np.argmax(logits))
+            tokens.append(token)
+            step = self.decode_step(token, cache, capture_hidden=capture_hidden)
+            if captured is not None and step.hidden_states is not None:
+                for layer in range(self.config.n_layers):
+                    captured[layer] = np.concatenate(
+                        [captured[layer], step.hidden_states[layer]], axis=0
+                    )
+            logits = step.logits[-1]
+        return tokens, cache, captured

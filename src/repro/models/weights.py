@@ -1,0 +1,94 @@
+"""Deterministic weight generation for the numpy transformer.
+
+Weights are sampled from a seeded generator with a scaled-Gaussian init so
+tiny models produce well-behaved activations over hundreds of decode steps.
+Determinism matters: correctness tests compare interrupted-and-restored
+runs against uninterrupted ones, so the same ``(config, seed)`` pair must
+always yield the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+
+@dataclass
+class LayerWeights:
+    """Parameters of one transformer layer.
+
+    Attributes:
+        wq, wk, wv: Attention projections, ``(hidden, hidden)`` /
+            ``(hidden, kv_size)``; applied as ``x @ w``.
+        wo: Output projection ``(hidden, hidden)``.
+        attn_norm: Pre-attention norm weight ``(hidden,)``.
+        ffn_norm: Pre-FFN norm weight ``(hidden,)``.
+        w_gate: SwiGLU gate projection (``None`` for 2-matrix FFNs).
+        w_up: First FFN projection ``(hidden, ffn_hidden)``.
+        w_down: Second FFN projection ``(ffn_hidden, hidden)``.
+    """
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    attn_norm: np.ndarray
+    ffn_norm: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+    w_gate: np.ndarray | None = None
+
+
+@dataclass
+class ModelWeights:
+    """All parameters of a model.
+
+    Attributes:
+        embedding: Token embedding table ``(vocab, hidden)``.
+        layers: Per-layer weights.
+        final_norm: Weight of the norm before the LM head ``(hidden,)``.
+        lm_head: Output projection ``(hidden, vocab)``.
+    """
+
+    embedding: np.ndarray
+    layers: list[LayerWeights] = field(default_factory=list)
+    final_norm: np.ndarray = field(default_factory=lambda: np.ones(1, dtype=np.float32))
+    lm_head: np.ndarray = field(default_factory=lambda: np.zeros((1, 1), dtype=np.float32))
+
+
+def _dense(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = 1.0 / np.sqrt(fan_in)
+    return rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(np.float32)
+
+
+def init_weights(config: ModelConfig, seed: int = 0) -> ModelWeights:
+    """Sample a deterministic set of weights for ``config``."""
+    rng = np.random.default_rng(seed)
+    d = config.hidden_size
+    kv = config.kv_size
+    ffn = config.ffn_hidden_size
+    layers = []
+    for _ in range(config.n_layers):
+        layers.append(
+            LayerWeights(
+                wq=_dense(rng, d, d),
+                wk=_dense(rng, d, kv),
+                wv=_dense(rng, d, kv),
+                wo=_dense(rng, d, d),
+                attn_norm=np.ones(d, dtype=np.float32),
+                ffn_norm=np.ones(d, dtype=np.float32),
+                w_up=_dense(rng, d, ffn),
+                w_down=_dense(rng, ffn, d),
+                w_gate=_dense(rng, d, ffn) if config.n_ffn_mats == 3 else None,
+            )
+        )
+    embedding = rng.normal(0.0, 0.02, size=(config.vocab_size, d)).astype(np.float32)
+    return ModelWeights(
+        embedding=embedding,
+        layers=layers,
+        final_norm=np.ones(d, dtype=np.float32),
+        lm_head=_dense(rng, d, config.vocab_size),
+    )

@@ -1,0 +1,79 @@
+"""Discrete-event simulation primitives.
+
+A tiny, deterministic event queue used by the serving engine: events fire in
+timestamp order with FIFO tie-breaking, and the clock never moves backwards.
+Keeping this generic (payloads are opaque) lets the same queue drive request
+arrivals, iteration completions, and background flushes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonic simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(f"clock cannot move backwards: {time} < {self._now}")
+        self._now = max(self._now, float(time))
+
+
+class EventQueue:
+    """A time-ordered queue of opaque events.
+
+    Events scheduled for the same instant fire in insertion order, which
+    keeps simulations reproducible regardless of payload contents.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, event: Any) -> None:
+        """Schedule ``event`` to fire at ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, (float(time), next(self._counter), event))
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, event)`` pair."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest pending event."""
+        if not self._heap:
+            raise SimulationError("peek on an empty event queue")
+        return self._heap[0][0]
+
+    def drain(self) -> Iterator[tuple[float, Any]]:
+        """Yield all remaining events in firing order."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,162 @@
+"""CUDA-stream-like schedule computation.
+
+HCache's restoration overlaps work on two hardware queues: an IO stream
+moving state from host storage to GPU memory and a compute stream projecting
+hidden states into the KV cache (§3.1, Fig. 5).  The implementation section
+(§5) describes the real system's use of dedicated CUDA streams with
+``cudaEvent`` dependencies; this module reproduces those semantics exactly:
+
+- tasks on one stream execute sequentially in submission order;
+- a task additionally waits for all of its cross-stream dependencies;
+- bubbles are idle gaps on a stream between its first and last task.
+
+The resulting schedule is what the bubble-free scheduler (§4.1) optimizes:
+a partition is bubble-free when neither stream idles while work remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Task:
+    """One unit of work bound to a stream.
+
+    Attributes:
+        name: Human-readable label (``"io:L3"``, ``"proj:L3"``, ...).
+        stream: Stream identifier; tasks sharing it serialize.
+        duration: Execution time in seconds.
+        deps: Tasks that must finish before this one starts (cudaEvent
+            waits).  Dependencies must be submitted before the dependent.
+        start: Assigned start time (filled by :meth:`StreamSchedule.run`).
+        end: Assigned completion time.
+    """
+
+    name: str
+    stream: str
+    duration: float
+    deps: tuple["Task", ...] = ()
+    start: float = field(default=-1.0, compare=False)
+    end: float = field(default=-1.0, compare=False)
+
+    @property
+    def scheduled(self) -> bool:
+        return self.end >= 0.0
+
+
+class StreamSchedule:
+    """Builds and evaluates a multi-stream task schedule."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._ran = False
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(self._tasks)
+
+    def submit(
+        self, name: str, stream: str, duration: float, deps: tuple[Task, ...] = ()
+    ) -> Task:
+        """Append a task to ``stream`` and return its handle.
+
+        Raises:
+            SimulationError: for negative durations or dependencies that
+                were not submitted to this schedule first (submission order
+                must be a topological order, as it is with CUDA events).
+        """
+        if duration < 0:
+            raise SimulationError(f"task {name!r} has negative duration {duration}")
+        known = set(map(id, self._tasks))
+        for dep in deps:
+            if id(dep) not in known:
+                raise SimulationError(
+                    f"task {name!r} depends on {dep.name!r} which is not submitted yet"
+                )
+        task = Task(name=name, stream=stream, duration=float(duration), deps=tuple(deps))
+        self._tasks.append(task)
+        self._ran = False
+        return task
+
+    def run(self, start_time: float = 0.0) -> "ScheduleResult":
+        """Assign start/end times to every task and summarize the schedule."""
+        tails: dict[str, float] = {}
+        for task in self._tasks:
+            ready = max((dep.end for dep in task.deps), default=start_time)
+            task.start = max(tails.get(task.stream, start_time), ready, start_time)
+            task.end = task.start + task.duration
+            tails[task.stream] = task.end
+        self._ran = True
+        return ScheduleResult(tuple(self._tasks), start_time)
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """A fully timed schedule with bubble accounting."""
+
+    tasks: tuple[Task, ...]
+    start_time: float
+
+    @property
+    def makespan(self) -> float:
+        """Total wall-clock time from ``start_time`` to the last completion."""
+        if not self.tasks:
+            return 0.0
+        return max(t.end for t in self.tasks) - self.start_time
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for t in self.tasks:
+            seen.setdefault(t.stream, None)
+        return tuple(seen)
+
+    def stream_tasks(self, stream: str) -> tuple[Task, ...]:
+        return tuple(t for t in self.tasks if t.stream == stream)
+
+    def busy_time(self, stream: str) -> float:
+        """Total execution time on a stream."""
+        return sum(t.duration for t in self.stream_tasks(stream))
+
+    def bubble_time(self, stream: str) -> float:
+        """Idle time on ``stream`` between its first task start and the
+        schedule's completion.
+
+        This is the quantity the bubble-free scheduler drives to zero on the
+        bottleneck stream: a restoration is bubble-free when the slower
+        stream never waits.
+        """
+        tasks = self.stream_tasks(stream)
+        if not tasks:
+            return 0.0
+        first_start = min(t.start for t in tasks)
+        span = (self.start_time + self.makespan) - first_start
+        return span - self.busy_time(stream)
+
+    def bubble_fraction(self, stream: str) -> float:
+        """Bubble time as a fraction of the schedule makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.bubble_time(stream) / self.makespan
+
+    def validate(self) -> None:
+        """Check stream serialization and dependency ordering.
+
+        Raises:
+            SimulationError: if any invariant is violated.
+        """
+        tails: dict[str, float] = {}
+        for task in self.tasks:
+            if not task.scheduled:
+                raise SimulationError(f"task {task.name!r} was never scheduled")
+            if task.start + 1e-12 < tails.get(task.stream, self.start_time):
+                raise SimulationError(f"task {task.name!r} overlaps its stream predecessor")
+            for dep in task.deps:
+                if task.start + 1e-12 < dep.end:
+                    raise SimulationError(
+                        f"task {task.name!r} starts before dependency {dep.name!r} ends"
+                    )
+            tails[task.stream] = task.end

@@ -1,0 +1,36 @@
+"""Host storage substrate: chunked layout, devices, striped array, manager.
+
+Implements the paper's chunk-based storage format (§4.2.1) functionally —
+real payload round-trips — and as a timing model consumed by the
+restoration pipeline.
+"""
+
+from repro.storage.allocator import AllocatorStats, ChunkAllocator, ChunkRun
+from repro.storage.array import LayerReadTiming, StorageArray
+from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
+from repro.storage.codec import GroupQuantizer, QuantizedBlock, quantization_logit_drift
+from repro.storage.daemon import FlushDaemon, SnapshotOutcome
+from repro.storage.device import IOReceipt, StorageDevice
+from repro.storage.manager import ContextMeta, StorageManager
+from repro.storage.tiered import TieredBackend, TieredReadTiming
+
+__all__ = [
+    "CHUNK_TOKENS",
+    "AllocatorStats",
+    "ChunkAllocator",
+    "ChunkKey",
+    "ChunkLayout",
+    "ChunkRun",
+    "ContextMeta",
+    "FlushDaemon",
+    "GroupQuantizer",
+    "IOReceipt",
+    "LayerReadTiming",
+    "QuantizedBlock",
+    "SnapshotOutcome",
+    "StorageDevice",
+    "StorageManager",
+    "TieredBackend",
+    "TieredReadTiming",
+    "quantization_logit_drift",
+]

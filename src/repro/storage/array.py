@@ -1,0 +1,142 @@
+"""Round-robin storage array (§4.2.1).
+
+Chunks of one layer are distributed over every device round-robin so a
+layer read aggregates all devices' bandwidth, capped by the GPU's link
+(PCIe) speed.  The array computes both functional placement (which device
+holds chunk *i*) and the timing of a batched layer read, which is what the
+restoration pipeline charges to the IO stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simulator.hardware import DRAMSpec, SSDSpec
+from repro.storage.device import StorageDevice
+
+
+@dataclass(frozen=True)
+class LayerReadTiming:
+    """Timing of reading all of one layer's chunks from the array.
+
+    Attributes:
+        n_chunks: Chunks read.
+        nbytes: Total bytes moved.
+        seconds: Wall-clock time: devices operate in parallel, each serving
+            its share of chunks sequentially; the aggregate is additionally
+            floored by the link bandwidth.
+        bottleneck: ``"device"`` or ``"link"``.
+    """
+
+    n_chunks: int
+    nbytes: int
+    seconds: float
+    bottleneck: str
+
+
+class StorageArray:
+    """A set of identical devices with round-robin chunk placement."""
+
+    def __init__(
+        self,
+        specs: tuple[SSDSpec | DRAMSpec, ...] | list[SSDSpec | DRAMSpec],
+        link_bandwidth: float,
+    ) -> None:
+        if not specs:
+            raise ConfigError("storage array needs at least one device")
+        if link_bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        self.devices = [StorageDevice(spec, i) for i, spec in enumerate(specs)]
+        self.link_bandwidth = float(link_bandwidth)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device_for(self, chunk_index: int, offset: int = 0) -> StorageDevice:
+        """Round-robin placement: chunk ``i`` lives on device ``(i + offset) mod n``.
+
+        The ``offset`` (the storage manager passes the layer index) rotates
+        each layer's starting device so partial chunk rounds do not pile
+        onto device 0 layer after layer — keeping per-device bytes balanced
+        to within one chunk per layer run.
+        """
+        if chunk_index < 0:
+            raise ConfigError("chunk index must be non-negative")
+        return self.devices[(chunk_index + offset) % len(self.devices)]
+
+    @property
+    def used_bytes_per_device(self) -> list[int]:
+        return [d.used_bytes for d in self.devices]
+
+    @property
+    def total_used_bytes(self) -> int:
+        return sum(self.used_bytes_per_device)
+
+    @property
+    def aggregate_read_bandwidth(self) -> float:
+        """Bandwidth of a large striped read, including the link cap."""
+        device_bw = sum(getattr(d.spec, "read_bandwidth", None) or d.spec.bandwidth
+                        for d in self.devices)
+        return min(device_bw, self.link_bandwidth)
+
+    def _device_read_bw(self, device: StorageDevice) -> float:
+        spec = device.spec
+        return getattr(spec, "read_bandwidth", None) or spec.bandwidth
+
+    def layer_read_timing(self, n_chunks: int, chunk_bytes: int) -> LayerReadTiming:
+        """Time to fetch ``n_chunks`` chunks of ``chunk_bytes`` each.
+
+        Devices work in parallel.  Because successive layer reads chain on
+        the IO stream (Fig. 8d: hidden-state transmission proceeds without
+        per-layer synchronization) and placement rotates across layers,
+        bandwidth is shared fractionally (``n_chunks / n_devices`` chunks'
+        worth of bytes per device) while per-IO latency is charged on the
+        integer chunk count a device actually serves.  The result is
+        floored by a pure link-bandwidth transfer of the same bytes, so a
+        fast array degenerates to the PCIe-bound case (§6.2.2: 4 SSDs
+        saturate an A100's upstream PCIe).
+        """
+        if n_chunks < 0 or chunk_bytes < 0:
+            raise ConfigError("chunk count and size must be non-negative")
+        if n_chunks == 0:
+            return LayerReadTiming(0, 0, 0.0, "device")
+        nbytes = n_chunks * chunk_bytes
+        n_dev = len(self.devices)
+        device_time = 0.0
+        for device in self.devices:
+            n_ios = math.ceil(n_chunks / n_dev)
+            share_bytes = n_chunks / n_dev * chunk_bytes
+            spec = device.spec
+            latency = n_ios * spec.io_latency if hasattr(spec, "io_latency") else 0.0
+            bw = self._device_read_bw(device)
+            device_time = max(device_time, latency + share_bytes / bw)
+        link_time = nbytes / self.link_bandwidth
+        if device_time >= link_time:
+            return LayerReadTiming(n_chunks, nbytes, device_time, "device")
+        return LayerReadTiming(n_chunks, nbytes, link_time, "link")
+
+    def read_time(self, nbytes: int, chunk_bytes: int) -> float:
+        """Convenience: striped read time for ``nbytes`` of chunked data."""
+        if chunk_bytes <= 0:
+            raise ConfigError("chunk_bytes must be positive")
+        n_chunks = math.ceil(nbytes / chunk_bytes)
+        return self.layer_read_timing(n_chunks, chunk_bytes).seconds
+
+    def write_time(self, nbytes: int, chunk_bytes: int) -> float:
+        """Striped write time for ``nbytes`` of chunked data."""
+        if chunk_bytes <= 0:
+            raise ConfigError("chunk_bytes must be positive")
+        n_chunks = math.ceil(nbytes / chunk_bytes)
+        if n_chunks == 0:
+            return 0.0
+        n_dev = len(self.devices)
+        device_time = 0.0
+        for device in self.devices:
+            n_ios = math.ceil(n_chunks / n_dev)
+            share_bytes = n_chunks / n_dev * chunk_bytes
+            spec = device.spec
+            write_bw = getattr(spec, "write_bandwidth", None) or spec.bandwidth
+            device_time = max(device_time, n_ios * spec.io_latency + share_bytes / write_bw)
+        return max(device_time, nbytes / self.link_bandwidth)

@@ -1,0 +1,118 @@
+"""Simulated storage devices holding real chunk payloads.
+
+Each device is both *functional* (it stores the actual bytes/arrays so the
+numeric engine can round-trip hidden states exactly) and *timed* (reads and
+writes report the wall-clock cost the performance model assigns them, and
+the device accumulates busy time for utilization accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import AllocationError, StateError
+from repro.simulator.hardware import DRAMSpec, SSDSpec
+
+
+@dataclass(frozen=True)
+class IOReceipt:
+    """Outcome of one device operation.
+
+    Attributes:
+        nbytes: Payload size.
+        seconds: Modelled duration of the operation.
+    """
+
+    nbytes: int
+    seconds: float
+
+
+class StorageDevice:
+    """One SSD or DRAM region storing chunk payloads.
+
+    Payloads are immutable snapshots: arrays are copied on write so later
+    mutation of the caller's buffer cannot corrupt stored state (the real
+    system snapshots hidden states off reused GPU buffers for the same
+    reason, §4.2.2).
+    """
+
+    def __init__(self, spec: SSDSpec | DRAMSpec, device_id: int) -> None:
+        self.spec = spec
+        self.device_id = device_id
+        self._data: dict[Hashable, np.ndarray] = {}
+        self._used_bytes = 0
+        self._busy_seconds = 0.0
+        self._reads = 0
+        self._writes = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}#{self.device_id}"
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative modelled device busy time."""
+        return self._busy_seconds
+
+    @property
+    def op_counts(self) -> tuple[int, int]:
+        """``(reads, writes)`` issued against this device."""
+        return self._reads, self._writes
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def write(self, key: Hashable, payload: np.ndarray) -> IOReceipt:
+        """Store ``payload`` under ``key`` and return the timed receipt.
+
+        Raises:
+            AllocationError: if the device would exceed its capacity.
+            StateError: if ``key`` is already present (chunks are written
+                once; appends rewrite under a new key).
+        """
+        if key in self._data:
+            raise StateError(f"{self.name}: key {key!r} already written")
+        nbytes = int(payload.nbytes)
+        if self._used_bytes + nbytes > self.capacity_bytes:
+            raise AllocationError(
+                f"{self.name}: write of {nbytes} B exceeds capacity "
+                f"({self._used_bytes}/{self.capacity_bytes} B used)"
+            )
+        self._data[key] = np.array(payload, copy=True)
+        self._used_bytes += nbytes
+        seconds = self.spec.write_time(nbytes)
+        self._busy_seconds += seconds
+        self._writes += 1
+        return IOReceipt(nbytes, seconds)
+
+    def read(self, key: Hashable) -> tuple[np.ndarray, IOReceipt]:
+        """Return a copy of the stored payload plus the timed receipt."""
+        if key not in self._data:
+            raise StateError(f"{self.name}: key {key!r} not present")
+        payload = self._data[key]
+        seconds = self.spec.read_time(int(payload.nbytes))
+        self._busy_seconds += seconds
+        self._reads += 1
+        return np.array(payload, copy=True), IOReceipt(int(payload.nbytes), seconds)
+
+    def delete(self, key: Hashable) -> int:
+        """Drop a payload, returning the bytes freed."""
+        if key not in self._data:
+            raise StateError(f"{self.name}: key {key!r} not present")
+        nbytes = int(self._data.pop(key).nbytes)
+        self._used_bytes -= nbytes
+        return nbytes
+
+    def keys(self) -> tuple[Hashable, ...]:
+        return tuple(self._data)

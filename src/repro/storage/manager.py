@@ -1,0 +1,283 @@
+"""The HCache storage manager (§4.2).
+
+Functionally stores hidden states (and, for scheduler-assigned layers, KV
+pairs) in 64-token chunks striped round-robin over a storage array, and
+reports the timing of layer-granularity reads for the restoration pipeline.
+
+Saving follows the paper's lifecycle: states arrive layer-before-token as
+generation proceeds; full chunks are flushed to devices immediately ("once
+a chunk is fully populated, it is promptly written to the NVMe device",
+§5), while the partially filled tail chunk stays in a host-side buffer
+until :meth:`StorageManager.seal_context` or further appends fill it.
+Restoration reads token-before-layer: one call fetches a whole layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, StateError
+from repro.storage.allocator import ChunkAllocator
+from repro.storage.array import LayerReadTiming, StorageArray
+from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
+
+
+@dataclass(frozen=True)
+class ContextMeta:
+    """Shape information for one stored context.
+
+    Attributes:
+        context_id: Stable identity (conversation / document id).
+        n_layers: Transformer layer count of the serving model.
+        hidden_width: Per-token hidden-state element count.
+        kv_width: Per-token KV element count (2x hidden for MHA).
+        dtype: Element dtype of stored state.
+    """
+
+    context_id: str
+    n_layers: int
+    hidden_width: int
+    kv_width: int
+    dtype: np.dtype
+
+
+class StorageManager:
+    """Chunked host storage for contextual LLM states."""
+
+    def __init__(
+        self,
+        array: StorageArray,
+        capacity_bytes: int | None = None,
+        tokens_per_chunk: int = CHUNK_TOKENS,
+    ) -> None:
+        if tokens_per_chunk <= 0:
+            raise ConfigError("tokens_per_chunk must be positive")
+        total_capacity = capacity_bytes
+        if total_capacity is None:
+            total_capacity = sum(d.capacity_bytes for d in array.devices)
+        self.array = array
+        self.tokens_per_chunk = tokens_per_chunk
+        self.allocator = ChunkAllocator(total_capacity)
+        self._meta: dict[str, ContextMeta] = {}
+        #: Host-side partially filled tail chunks: run key -> list of token rows.
+        self._tails: dict[tuple[str, int, str], list[np.ndarray]] = {}
+        #: Runs whose tail is also persisted on a device as a partial chunk
+        #: (written by seal_context; rewritten when the chunk later fills).
+        self._sealed_partial: set[tuple[str, int, str]] = set()
+
+    # ------------------------------------------------------------------
+    # context lifecycle
+    # ------------------------------------------------------------------
+
+    def register_context(
+        self,
+        context_id: str,
+        n_layers: int,
+        hidden_width: int,
+        dtype: np.dtype | type = np.float32,
+    ) -> ContextMeta:
+        """Declare a context before saving any of its state."""
+        if context_id in self._meta:
+            raise StateError(f"context {context_id!r} already registered")
+        if n_layers <= 0 or hidden_width <= 0:
+            raise ConfigError("context needs positive layer count and hidden width")
+        meta = ContextMeta(
+            context_id=context_id,
+            n_layers=n_layers,
+            hidden_width=hidden_width,
+            kv_width=2 * hidden_width,
+            dtype=np.dtype(dtype),
+        )
+        self._meta[context_id] = meta
+        return meta
+
+    def has_context(self, context_id: str) -> bool:
+        return context_id in self._meta
+
+    def meta(self, context_id: str) -> ContextMeta:
+        if context_id not in self._meta:
+            raise StateError(f"context {context_id!r} not registered")
+        return self._meta[context_id]
+
+    def free_context(self, context_id: str) -> int:
+        """Drop a context's state everywhere, returning bytes freed."""
+        meta = self.meta(context_id)
+        freed = self.allocator.free_context(context_id)
+        for key in [k for k in self._tails if k[0] == context_id]:
+            del self._tails[key]
+            self._sealed_partial.discard(key)
+        for device in self.array.devices:
+            for key in device.keys():
+                if isinstance(key, ChunkKey) and key.context_id == context_id:
+                    device.delete(key)
+        del self._meta[meta.context_id]
+        return freed
+
+    def context_ids(self) -> tuple[str, ...]:
+        return tuple(self._meta)
+
+    # ------------------------------------------------------------------
+    # saving (layer-before-token)
+    # ------------------------------------------------------------------
+
+    def _layout(self, meta: ContextMeta, kind: str) -> ChunkLayout:
+        width = meta.hidden_width if kind == "hidden" else meta.kv_width
+        return ChunkLayout(
+            tokens_per_chunk=self.tokens_per_chunk,
+            bytes_per_token=width * meta.dtype.itemsize,
+        )
+
+    def _width(self, meta: ContextMeta, kind: str) -> int:
+        return meta.hidden_width if kind == "hidden" else meta.kv_width
+
+    def append(self, context_id: str, layer: int, states: np.ndarray, kind: str = "hidden") -> None:
+        """Append per-token state rows for one layer of a context.
+
+        ``states`` has shape ``(n_new_tokens, width)`` where width is the
+        hidden size for ``kind="hidden"`` and twice that for ``kind="kv"``
+        (K and V concatenated).  Full chunks are flushed to their
+        round-robin device; the tail remains host-buffered.
+        """
+        meta = self.meta(context_id)
+        if layer < 0 or layer >= meta.n_layers:
+            raise ConfigError(f"layer {layer} out of range for {context_id!r}")
+        states = np.asarray(states, dtype=meta.dtype)
+        if states.ndim != 2 or states.shape[1] != self._width(meta, kind):
+            raise ConfigError(
+                f"states must be (n, {self._width(meta, kind)}), got {states.shape}"
+            )
+        run_key = (context_id, layer, kind)
+        if not self.allocator.has_run(context_id, layer, kind):
+            self.allocator.open_run(context_id, layer, kind, self._layout(meta, kind))
+            self._tails[run_key] = []
+        if run_key in self._sealed_partial:
+            # The tail chunk was persisted at the last seal; it grows now,
+            # so retire the stale partial copy (the host buffer still holds
+            # the rows) and rewrite it once it fills or is sealed again.
+            run = self.allocator.run(context_id, layer, kind)
+            tail_len = len(self._tails[run_key])
+            partial_index = (run.n_tokens - tail_len) // self.tokens_per_chunk
+            key = ChunkKey(context_id, layer, partial_index, kind)
+            self.array.device_for(partial_index, offset=layer).delete(key)
+            self._sealed_partial.discard(run_key)
+        self.allocator.extend(context_id, layer, kind, states.shape[0])
+        tail = self._tails[run_key]
+        tail.extend(np.array(row, copy=True) for row in states)
+        self._flush_full_chunks(context_id, layer, kind)
+
+    def _flush_full_chunks(self, context_id: str, layer: int, kind: str) -> None:
+        run = self.allocator.run(context_id, layer, kind)
+        run_key = (context_id, layer, kind)
+        tail = self._tails[run_key]
+        flushed_tokens = run.n_tokens - len(tail)
+        while len(tail) >= self.tokens_per_chunk:
+            chunk_rows = tail[: self.tokens_per_chunk]
+            del tail[: self.tokens_per_chunk]
+            chunk_index = flushed_tokens // self.tokens_per_chunk
+            key = ChunkKey(context_id, layer, chunk_index, kind)
+            self.array.device_for(chunk_index, offset=layer).write(key, np.stack(chunk_rows))
+            flushed_tokens += self.tokens_per_chunk
+
+    def seal_context(self, context_id: str) -> None:
+        """Flush every partially filled tail chunk to its device.
+
+        Called when a conversation round ends and the context's GPU state
+        is evicted — afterwards all state also lives on the storage
+        devices.  The host buffer keeps the tail rows so a later round can
+        grow the partial chunk (it is then rewritten, write-once devices
+        cannot append in place).
+        """
+        self.meta(context_id)
+        for run_key in list(self._tails):
+            ctx, layer, kind = run_key
+            if ctx != context_id:
+                continue
+            tail = self._tails[run_key]
+            if not tail or run_key in self._sealed_partial:
+                continue
+            run = self.allocator.run(ctx, layer, kind)
+            flushed_tokens = run.n_tokens - len(tail)
+            if flushed_tokens % self.tokens_per_chunk != 0:
+                raise StateError("tail must start at a chunk boundary")
+            chunk_index = flushed_tokens // self.tokens_per_chunk
+            key = ChunkKey(ctx, layer, chunk_index, kind)
+            self.array.device_for(chunk_index, offset=layer).write(key, np.stack(tail))
+            self._sealed_partial.add(run_key)
+
+    # ------------------------------------------------------------------
+    # restoration (token-before-layer)
+    # ------------------------------------------------------------------
+
+    def tokens_stored(self, context_id: str, layer: int, kind: str = "hidden") -> int:
+        """Tokens currently stored for one layer (0 if the run is absent)."""
+        if not self.allocator.has_run(context_id, layer, kind):
+            return 0
+        return self.allocator.run(context_id, layer, kind).n_tokens
+
+    def load_layer(self, context_id: str, layer: int, kind: str = "hidden") -> np.ndarray:
+        """Fetch one layer's full token run as a ``(n_tokens, width)`` array.
+
+        Reads every device-resident chunk (round-robin across the array)
+        and appends any host-buffered tail rows.
+        """
+        meta = self.meta(context_id)
+        run = self.allocator.run(context_id, layer, kind)
+        tail = self._tails[(context_id, layer, kind)]
+        flushed_tokens = run.n_tokens - len(tail)
+        n_full = flushed_tokens // self.tokens_per_chunk
+        leftover = flushed_tokens - n_full * self.tokens_per_chunk
+        parts: list[np.ndarray] = []
+        for chunk_index in range(n_full + (1 if leftover else 0)):
+            key = ChunkKey(context_id, layer, chunk_index, kind)
+            payload, _ = self.array.device_for(chunk_index, offset=layer).read(key)
+            parts.append(payload)
+        if tail:
+            parts.append(np.stack(tail))
+        if not parts:
+            return np.empty((0, self._width(meta, kind)), dtype=meta.dtype)
+        return np.concatenate(parts, axis=0)
+
+    def layer_read_timing(
+        self, context_id: str, layer: int, kind: str = "hidden"
+    ) -> LayerReadTiming:
+        """Modelled wall-clock cost of fetching one layer's chunks."""
+        run = self.allocator.run(context_id, layer, kind)
+        layout = run.layout
+        return self.array.layer_read_timing(layout.chunks_for(run.n_tokens), layout.chunk_bytes)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def context_bytes(self, context_id: str) -> int:
+        """Bytes of chunk capacity allocated to one context."""
+        total = 0
+        for layer in range(self.meta(context_id).n_layers):
+            for kind in ("hidden", "kv"):
+                if self.allocator.has_run(context_id, layer, kind):
+                    total += self.allocator.run(context_id, layer, kind).allocated_bytes
+        return total
+
+    def per_token_bytes(self, context_id: str) -> float:
+        """Average stored bytes per context token (Table 3's storage cost)."""
+        meta = self.meta(context_id)
+        n_tokens = max(
+            (
+                self.allocator.run(context_id, layer, kind).n_tokens
+                for layer in range(meta.n_layers)
+                for kind in ("hidden", "kv")
+                if self.allocator.has_run(context_id, layer, kind)
+            ),
+            default=0,
+        )
+        if n_tokens == 0:
+            return 0.0
+        used = sum(
+            self.allocator.run(context_id, layer, kind).used_bytes
+            for layer in range(meta.n_layers)
+            for kind in ("hidden", "kv")
+            if self.allocator.has_run(context_id, layer, kind)
+        )
+        return used / n_tokens

@@ -1,0 +1,46 @@
+"""Workload generators matched to the paper's traces.
+
+Synthetic stand-ins for ShareGPT4 (Fig. 3) and L-Eval (Table 1) plus the
+arrival processes (§6.1.1 Poisson sessions, §6.4 Zipfian reuse) that drive
+the serving benchmarks.
+"""
+
+from repro.traces.arrival import (
+    ROUND_INTERVAL_SECONDS,
+    build_workload,
+    conversation_requests,
+    poisson_arrival_times,
+)
+from repro.traces.leval import (
+    LEVAL_TASKS,
+    LEvalGenerator,
+    LEvalRequest,
+    LEvalTask,
+    task_statistics,
+)
+from repro.traces.sharegpt import (
+    Conversation,
+    ConversationRound,
+    ShareGPTGenerator,
+    TraceStatistics,
+    trace_statistics,
+)
+from repro.traces.zipf import ZipfianSampler
+
+__all__ = [
+    "LEVAL_TASKS",
+    "ROUND_INTERVAL_SECONDS",
+    "Conversation",
+    "ConversationRound",
+    "LEvalGenerator",
+    "LEvalRequest",
+    "LEvalTask",
+    "ShareGPTGenerator",
+    "TraceStatistics",
+    "ZipfianSampler",
+    "build_workload",
+    "conversation_requests",
+    "poisson_arrival_times",
+    "task_statistics",
+    "trace_statistics",
+]

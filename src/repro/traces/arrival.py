@@ -1,0 +1,80 @@
+"""Arrival processes: Poisson session starts and fixed round intervals.
+
+The paper's multi-round experiments start sessions with Poisson arrivals
+and space rounds within a session 30 seconds apart (§6.1.1).  This module
+turns sampled conversations into the flat, time-ordered request list the
+serving simulator consumes, wiring round dependencies so round *k+1* never
+starts before round *k* finishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.request import RequestSpec
+from repro.errors import ConfigError
+from repro.traces.sharegpt import Conversation
+
+#: §6.1.1: "The interval between conversation rounds in one session is 30s."
+ROUND_INTERVAL_SECONDS = 30.0
+
+
+def poisson_arrival_times(
+    rate_per_second: float, n_arrivals: int, seed: int = 0
+) -> np.ndarray:
+    """Arrival instants of a homogeneous Poisson process."""
+    if rate_per_second <= 0:
+        raise ConfigError("arrival rate must be positive")
+    if n_arrivals <= 0:
+        raise ConfigError("n_arrivals must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_second, size=n_arrivals)
+    return np.cumsum(gaps)
+
+
+def conversation_requests(
+    conversation: Conversation,
+    session_start: float,
+    round_interval: float = ROUND_INTERVAL_SECONDS,
+) -> list[RequestSpec]:
+    """Expand one conversation into dependent round requests.
+
+    Round ``k`` arrives ``k * round_interval`` after the session start and
+    depends on round ``k-1``; the engine additionally refuses to start it
+    before the dependency finishes, so slow service cannot reorder rounds.
+    """
+    if round_interval < 0:
+        raise ConfigError("round interval must be non-negative")
+    specs: list[RequestSpec] = []
+    previous_id: str | None = None
+    for r in conversation.rounds:
+        request_id = f"{conversation.session_id}/r{r.round_index}"
+        specs.append(
+            RequestSpec(
+                request_id=request_id,
+                session_id=conversation.session_id,
+                arrival_time=session_start + r.round_index * round_interval,
+                history_tokens=r.history_tokens,
+                input_tokens=r.input_tokens,
+                output_tokens=r.output_tokens,
+                depends_on=previous_id,
+            )
+        )
+        previous_id = request_id
+    return specs
+
+
+def build_workload(
+    conversations: list[Conversation],
+    rate_per_second: float,
+    seed: int = 0,
+    round_interval: float = ROUND_INTERVAL_SECONDS,
+) -> list[RequestSpec]:
+    """Poisson-start every conversation and flatten to a sorted request list."""
+    if not conversations:
+        raise ConfigError("no conversations supplied")
+    starts = poisson_arrival_times(rate_per_second, len(conversations), seed)
+    specs: list[RequestSpec] = []
+    for conversation, start in zip(conversations, starts):
+        specs.extend(conversation_requests(conversation, float(start), round_interval))
+    return sorted(specs, key=lambda s: s.arrival_time)

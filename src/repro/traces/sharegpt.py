@@ -1,0 +1,172 @@
+"""Synthetic ShareGPT4-style multi-round conversation trace (§2.3, Fig. 3).
+
+The paper characterizes ShareGPT4 as: mean per-round input of 66.8 tokens,
+mean per-round output of 358.8 tokens, and a history-length CDF (truncated
+at 16K) whose median exceeds 2.5K tokens.  This generator samples
+conversations from log-normal per-round length distributions and a
+geometric round count calibrated to land on those statistics, so the
+serving benchmarks see the same shape of work the paper's trace produced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Published ShareGPT4 statistics the generator targets (Fig. 3a).
+MEAN_INPUT_TOKENS = 66.8
+MEAN_OUTPUT_TOKENS = 358.8
+#: History CDF median target (Fig. 3b: "half of the conversations > 2.5K").
+MEDIAN_HISTORY_TOKENS = 2500.0
+#: History CDF truncation used by the paper.
+MAX_HISTORY_TOKENS = 16384
+
+
+@dataclass(frozen=True)
+class ConversationRound:
+    """One round of a conversation.
+
+    Attributes:
+        round_index: Zero-based round number within its session.
+        history_tokens: Accumulated context from all earlier rounds.
+        input_tokens: This round's new prompt length.
+        output_tokens: This round's response length.
+    """
+
+    round_index: int
+    history_tokens: int
+    input_tokens: int
+    output_tokens: int
+
+
+@dataclass(frozen=True)
+class Conversation:
+    """A full multi-round session."""
+
+    session_id: str
+    rounds: tuple[ConversationRound, ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def final_context(self) -> int:
+        last = self.rounds[-1]
+        return last.history_tokens + last.input_tokens + last.output_tokens
+
+
+def _lognormal(rng: np.random.Generator, mean: float, sigma: float) -> float:
+    """Sample a log-normal with the requested arithmetic mean."""
+    mu = math.log(mean) - sigma * sigma / 2.0
+    return float(rng.lognormal(mu, sigma))
+
+
+class ShareGPTGenerator:
+    """Samples ShareGPT4-like conversations."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_input: float = MEAN_INPUT_TOKENS,
+        mean_output: float = MEAN_OUTPUT_TOKENS,
+        mean_rounds: float = 12.0,
+        sigma: float = 0.9,
+        max_history: int = MAX_HISTORY_TOKENS,
+        max_round_tokens: int = 2048,
+    ) -> None:
+        if mean_input <= 0 or mean_output <= 0 or mean_rounds < 1:
+            raise ConfigError("trace means must be positive (mean_rounds >= 1)")
+        self.rng = np.random.default_rng(seed)
+        self.mean_input = mean_input
+        self.mean_output = mean_output
+        self.mean_rounds = mean_rounds
+        self.sigma = sigma
+        self.max_history = max_history
+        self.max_round_tokens = max_round_tokens
+
+    def _round_length(self, mean: float) -> int:
+        value = _lognormal(self.rng, mean, self.sigma)
+        return int(np.clip(round(value), 1, self.max_round_tokens))
+
+    def sample_conversation(self, session_id: str) -> Conversation:
+        """Sample one conversation (>= 2 rounds so history reuse occurs)."""
+        p = 1.0 / self.mean_rounds
+        n_rounds = int(np.clip(self.rng.geometric(p), 2, 40))
+        rounds: list[ConversationRound] = []
+        history = 0
+        for index in range(n_rounds):
+            inp = self._round_length(self.mean_input)
+            out = self._round_length(self.mean_output)
+            if history + inp + out > self.max_history:
+                break
+            rounds.append(
+                ConversationRound(
+                    round_index=index,
+                    history_tokens=history,
+                    input_tokens=inp,
+                    output_tokens=out,
+                )
+            )
+            history += inp + out
+        if not rounds:
+            # Degenerate draw (first round alone exceeded the cap): retry.
+            return self.sample_conversation(session_id)
+        return Conversation(session_id=session_id, rounds=tuple(rounds))
+
+    def sample_many(self, n_sessions: int, prefix: str = "sess") -> list[Conversation]:
+        if n_sessions <= 0:
+            raise ConfigError("n_sessions must be positive")
+        return [self.sample_conversation(f"{prefix}-{i}") for i in range(n_sessions)]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a sampled trace (regenerates Fig. 3)."""
+
+    n_sessions: int
+    n_rounds: int
+    mean_input: float
+    mean_output: float
+    history_p50: float
+    history_p90: float
+    history_cdf: tuple[tuple[int, float], ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_sessions} sessions / {self.n_rounds} rounds | "
+            f"input {self.mean_input:.1f} output {self.mean_output:.1f} | "
+            f"history p50 {self.history_p50:.0f} p90 {self.history_p90:.0f}"
+        )
+
+
+def trace_statistics(
+    conversations: list[Conversation],
+    cdf_points: tuple[int, ...] = (0, 1024, 2560, 4096, 8192, 16384),
+) -> TraceStatistics:
+    """Compute Fig. 3-style statistics for a sampled trace."""
+    if not conversations:
+        raise ConfigError("empty trace")
+    inputs = [r.input_tokens for c in conversations for r in c.rounds]
+    outputs = [r.output_tokens for c in conversations for r in c.rounds]
+    histories = np.array(
+        [r.history_tokens for c in conversations for r in c.rounds if r.round_index > 0]
+    )
+    if histories.size == 0:
+        histories = np.array([0.0])
+    cdf = tuple(
+        (point, float(np.mean(histories <= point))) for point in cdf_points
+    )
+    return TraceStatistics(
+        n_sessions=len(conversations),
+        n_rounds=len(inputs),
+        mean_input=float(np.mean(inputs)),
+        mean_output=float(np.mean(outputs)),
+        history_p50=float(np.percentile(histories, 50)),
+        history_p90=float(np.percentile(histories, 90)),
+        history_cdf=cdf,
+    )

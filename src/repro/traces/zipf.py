@@ -1,0 +1,57 @@
+"""Zipfian context popularity (§6.4, Fig. 15).
+
+The GPU-cache experiment synthesizes context arrival patterns with varying
+Zipf skew: with ``alpha = uniform`` every context is equally likely, while
+larger ``alpha`` concentrates requests on a few hot contexts, driving the
+LRU hit ratio from 15% up to 94%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ZipfianSampler:
+    """Draws item indices with Zipfian (or uniform) popularity."""
+
+    def __init__(self, n_items: int, alpha: float | None, seed: int = 0) -> None:
+        """Create the sampler.
+
+        Args:
+            n_items: Number of distinct contexts.
+            alpha: Zipf exponent; ``None`` (or 0) means uniform — matching
+                the paper's "Uniform" x-axis label.
+            seed: RNG seed.
+        """
+        if n_items <= 0:
+            raise ConfigError("n_items must be positive")
+        if alpha is not None and alpha < 0:
+            raise ConfigError("alpha must be non-negative")
+        self.n_items = n_items
+        self.alpha = alpha
+        self.rng = np.random.default_rng(seed)
+        if alpha is None or alpha == 0:
+            self._probs = np.full(n_items, 1.0 / n_items)
+        else:
+            ranks = np.arange(1, n_items + 1, dtype=np.float64)
+            weights = ranks**-alpha
+            self._probs = weights / weights.sum()
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-item probabilities, hottest first."""
+        return self._probs.copy()
+
+    def sample(self, n_draws: int) -> np.ndarray:
+        """Draw ``n_draws`` item indices."""
+        if n_draws <= 0:
+            raise ConfigError("n_draws must be positive")
+        return self.rng.choice(self.n_items, size=n_draws, p=self._probs)
+
+    def theoretical_top_k_mass(self, k: int) -> float:
+        """Probability mass of the ``k`` hottest items."""
+        if not 0 <= k <= self.n_items:
+            raise ConfigError(f"k must be in [0, {self.n_items}]")
+        return float(self._probs[:k].sum())

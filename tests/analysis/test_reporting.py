@@ -1,0 +1,49 @@
+"""Tests for benchmark reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import PaperExpectation, ResultTable, render_expectations
+from repro.errors import ConfigError
+
+
+class TestResultTable:
+    def test_render_contains_headers_and_rows(self):
+        table = ResultTable("Demo", ["model", "speed"])
+        table.add_row("7b", 12.5)
+        text = table.render()
+        assert "Demo" in text
+        assert "model" in text
+        assert "12.5" in text
+
+    def test_row_width_checked(self):
+        table = ResultTable("Demo", ["a", "b"])
+        with pytest.raises(ConfigError):
+            table.add_row(1)
+
+    def test_alignment(self):
+        table = ResultTable("T", ["name", "x"])
+        table.add_row("long-name-here", 1)
+        table.add_row("s", 2)
+        lines = table.render().splitlines()
+        row1, row2 = lines[4:]
+        assert len(row1) == len(row2)
+        assert row1.index("1") == row2.index("2")
+
+    def test_float_formatting(self):
+        table = ResultTable("T", ["v"])
+        table.add_row(1234.5)
+        table.add_row(0.001234)
+        text = table.render()
+        assert "1,234" in text or "1,235" in text
+        assert "0.001" in text
+
+
+class TestExpectations:
+    def test_render_marks(self):
+        good = PaperExpectation("x", "1.9x", "1.85x", holds=True)
+        bad = PaperExpectation("y", "2x", "0.5x", holds=False)
+        text = render_expectations([good, bad])
+        assert "[OK ]" in text
+        assert "[DIFF]" in text

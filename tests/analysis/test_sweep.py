@@ -1,0 +1,38 @@
+"""Tests for sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import crossover, sweep
+from repro.errors import ConfigError
+
+
+class TestSweep:
+    def test_calls_with_axis_value(self):
+        points = sweep(lambda x, y: x + y, "x", [1, 2, 3], y=10)
+        assert [p.value for p in points] == [11, 12, 13]
+
+    def test_params_recorded(self):
+        points = sweep(lambda x: x, "x", [5])
+        assert points[0].params == {"x": 5}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep(lambda x: x, "x", [])
+
+
+class TestCrossover:
+    def test_finds_crossover(self):
+        points = sweep(
+            lambda n: {"a": n * 2, "b": 10}, "n", [1, 3, 5, 7]
+        )
+        assert crossover(points, "a", "b") == 5
+
+    def test_no_crossover(self):
+        points = sweep(lambda n: {"a": 1, "b": 10}, "n", [1, 2])
+        assert crossover(points, "a", "b") is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            crossover([], "a", "b")

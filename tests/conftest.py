@@ -1,0 +1,71 @@
+"""Shared fixtures: tiny executable models, platforms, storage stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import build_storage_array
+from repro.models import Transformer, model_preset
+from repro.simulator import platform_preset
+from repro.storage import StorageManager
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return model_preset("tiny-llama")
+
+
+@pytest.fixture(scope="session")
+def tiny_opt_config():
+    return model_preset("tiny-opt")
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config):
+    return Transformer.from_seed(tiny_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_opt_model(tiny_opt_config):
+    return Transformer.from_seed(tiny_opt_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def seven_b():
+    return model_preset("llama2-7b")
+
+
+@pytest.fixture(scope="session")
+def thirteen_b():
+    return model_preset("llama2-13b")
+
+
+@pytest.fixture(scope="session")
+def opt_30b():
+    return model_preset("opt-30b")
+
+
+@pytest.fixture(scope="session")
+def default_platform():
+    """A100 + 4x PM9A3 — the paper's default testbed."""
+    return platform_preset("default")
+
+
+@pytest.fixture(scope="session")
+def dram_platform():
+    return platform_preset("a100-dram")
+
+
+@pytest.fixture
+def storage_manager(default_platform):
+    return StorageManager(build_storage_array(default_platform))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_tokens(rng: np.random.Generator, vocab: int, n: int) -> np.ndarray:
+    return rng.integers(0, vocab, size=n)

@@ -1,0 +1,60 @@
+"""Tests for offline hardware profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import build_storage_array, profile_platform
+from repro.errors import ConfigError
+from repro.simulator.hardware import platform_preset
+
+
+class TestBuildStorageArray:
+    def test_ssd_platform(self):
+        array = build_storage_array(platform_preset("default"))
+        assert len(array) == 4
+
+    def test_dram_platform(self):
+        array = build_storage_array(platform_preset("a100-dram"))
+        assert len(array) == 1
+
+    def test_link_matches_gpus(self):
+        array = build_storage_array(platform_preset("a100x4-dram"))
+        assert array.link_bandwidth == pytest.approx(4 * 32e9)
+
+
+class TestProfile:
+    def test_io_kv_double_hidden(self, seven_b, default_platform):
+        prof = profile_platform(seven_b, default_platform, 1024)
+        assert prof.io_kv == pytest.approx(2 * prof.io_hidden, rel=0.05)
+
+    def test_recompute_dominates_projection(self, seven_b, default_platform):
+        prof = profile_platform(seven_b, default_platform, 1024)
+        assert prof.compute_token > 5 * prof.compute_hidden
+
+    def test_compute_bound_flag(self, seven_b):
+        """A30 + fast storage is compute-bound; A100 + 1 SSD is IO-bound."""
+        io_suff = profile_platform(seven_b, platform_preset("io-sufficient"), 1024)
+        comp_suff = profile_platform(seven_b, platform_preset("compute-sufficient"), 1024)
+        assert io_suff.compute_bound
+        assert not comp_suff.compute_bound
+
+    def test_zero_tokens_rejected(self, seven_b, default_platform):
+        with pytest.raises(ConfigError):
+            profile_platform(seven_b, default_platform, 0)
+
+    def test_describe_mentions_regime(self, seven_b, default_platform):
+        text = profile_platform(seven_b, default_platform, 1024).describe()
+        assert "bound" in text
+
+    def test_profile_scales_with_tokens(self, seven_b, default_platform):
+        small = profile_platform(seven_b, default_platform, 512)
+        large = profile_platform(seven_b, default_platform, 2048)
+        assert large.io_hidden > small.io_hidden
+        assert large.compute_token > small.compute_token
+
+    def test_negative_profile_rejected(self):
+        from repro.core.profiler import HardwareProfile
+
+        with pytest.raises(ConfigError):
+            HardwareProfile("m", 1, -1.0, 1.0, 1.0, 1.0)

@@ -1,0 +1,95 @@
+"""Tests for the saving strategies (§4.2.2, Fig. 14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.saving import (
+    DirectIOSaver,
+    NoSaver,
+    TwoStageSaver,
+    decode_tbt_with_saving,
+)
+from repro.errors import ConfigError
+from repro.simulator.hardware import platform_preset
+
+
+class TestTwoStage:
+    def test_no_stall_at_decode_rates(self, seven_b, default_platform):
+        """§6.3.3: cudaMemcpy snapshots never stall decoding."""
+        saver = TwoStageSaver(default_platform)
+        for batch in (1, 8, 16, 32):
+            impact = decode_tbt_with_saving(seven_b, default_platform, batch, 512, saver)
+            assert impact.overhead_fraction < 0.01
+
+    def test_tbt_matches_ideal(self, seven_b, default_platform):
+        two_stage = decode_tbt_with_saving(
+            seven_b, default_platform, 16, 512, TwoStageSaver(default_platform)
+        )
+        ideal = decode_tbt_with_saving(seven_b, default_platform, 16, 512, NoSaver())
+        assert two_stage.tbt == pytest.approx(ideal.tbt, rel=0.01)
+
+    def test_daemon_tracks_bytes(self, seven_b, default_platform):
+        saver = TwoStageSaver(default_platform)
+        decode_tbt_with_saving(seven_b, default_platform, 8, 512, saver)
+        assert saver.daemon.backlog_bytes >= 0
+
+    def test_negative_batch_rejected(self, default_platform):
+        saver = TwoStageSaver(default_platform)
+        with pytest.raises(ConfigError):
+            saver.layer_stall(-1, 100, 1e-3)
+
+
+class TestDirectIO:
+    def test_small_batch_no_stall(self, seven_b, default_platform):
+        """Fig. 14: DirectIO matches ideal while IO fits in a layer's
+        decode time."""
+        saver = DirectIOSaver(default_platform)
+        impact = decode_tbt_with_saving(seven_b, default_platform, 2, 512, saver)
+        assert impact.overhead_fraction < 0.05
+
+    def test_large_batch_stalls(self, seven_b, default_platform):
+        """Fig. 14a: 7B TBT inflates noticeably by batch size 16."""
+        saver = DirectIOSaver(default_platform)
+        impact = decode_tbt_with_saving(seven_b, default_platform, 16, 512, saver)
+        assert impact.overhead_fraction > 0.15
+
+    def test_overhead_grows_with_batch(self, seven_b, default_platform):
+        saver = DirectIOSaver(default_platform)
+        overheads = [
+            decode_tbt_with_saving(seven_b, default_platform, b, 512, saver).overhead_fraction
+            for b in (2, 8, 16, 24)
+        ]
+        assert overheads == sorted(overheads)
+
+    def test_13b_less_affected_than_7b(self, seven_b, thirteen_b, default_platform):
+        """Fig. 14b: slower layers absorb more of the write latency."""
+        saver = DirectIOSaver(default_platform)
+        f7 = decode_tbt_with_saving(seven_b, default_platform, 16, 512, saver)
+        f13 = decode_tbt_with_saving(thirteen_b, default_platform, 16, 512, saver)
+        assert f13.overhead_fraction < f7.overhead_fraction
+
+    def test_two_stage_beats_directio_at_scale(self, seven_b, default_platform):
+        two = decode_tbt_with_saving(
+            seven_b, default_platform, 24, 512, TwoStageSaver(default_platform)
+        )
+        direct = decode_tbt_with_saving(
+            seven_b, default_platform, 24, 512, DirectIOSaver(default_platform)
+        )
+        assert direct.tbt > two.tbt
+
+    def test_dram_platform_uses_default_ssd(self):
+        saver = DirectIOSaver(platform_preset("a100-dram"))
+        assert saver.ssd.name == "PM9A3"
+
+
+class TestValidation:
+    def test_zero_batch_rejected(self, seven_b, default_platform):
+        with pytest.raises(ConfigError):
+            decode_tbt_with_saving(seven_b, default_platform, 0, 512, NoSaver())
+
+    def test_impact_fields_consistent(self, seven_b, default_platform):
+        impact = decode_tbt_with_saving(
+            seven_b, default_platform, 8, 512, DirectIOSaver(default_platform)
+        )
+        assert impact.tbt == pytest.approx(impact.base_tbt + impact.stall)

@@ -1,0 +1,100 @@
+"""Tests for the request lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.request import Phase, Request, RequestSpec
+from repro.errors import ConfigError, StateError
+
+
+def spec(**overrides):
+    base = dict(
+        request_id="r0",
+        session_id="s0",
+        arrival_time=0.0,
+        history_tokens=100,
+        input_tokens=10,
+        output_tokens=5,
+    )
+    base.update(overrides)
+    return RequestSpec(**base)
+
+
+class TestSpecValidation:
+    def test_total_context(self):
+        assert spec().total_context == 115
+
+    def test_zero_history_ok(self):
+        assert spec(history_tokens=0).history_tokens == 0
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(input_tokens=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(arrival_time=-1.0)
+
+    def test_negative_history_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(history_tokens=-1)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        request = Request(spec=spec())
+        assert request.phase is Phase.QUEUED
+        assert request.prefill_remaining == 10
+
+    def test_context_tokens_track_progress(self):
+        request = Request(spec=spec())
+        assert request.context_tokens == 100
+        request.prefill_remaining = 4
+        assert request.context_tokens == 106
+        request.decoded_tokens = 2
+        assert request.context_tokens == 108
+
+    def test_first_token_requires_prefilling(self):
+        request = Request(spec=spec())
+        with pytest.raises(StateError):
+            request.mark_first_token(1.0)
+
+    def test_ttft_definition(self):
+        request = Request(spec=spec(arrival_time=2.0))
+        request.phase = Phase.PREFILLING
+        request.mark_first_token(5.0)
+        assert request.ttft == pytest.approx(3.0)
+
+    def test_ttft_before_first_token_rejected(self):
+        request = Request(spec=spec())
+        with pytest.raises(StateError):
+            _ = request.ttft
+
+    def test_tbt_definition(self):
+        request = Request(spec=spec(output_tokens=5))
+        request.phase = Phase.PREFILLING
+        request.mark_first_token(1.0)
+        request.decoded_tokens = 5
+        request.mark_finished(2.0)
+        assert request.tbt == pytest.approx(1.0 / 4)
+
+    def test_tbt_single_token_output(self):
+        request = Request(spec=spec(output_tokens=1))
+        request.phase = Phase.PREFILLING
+        request.mark_first_token(1.0)
+        request.phase = Phase.DECODING
+        request.mark_finished(1.0)
+        assert request.tbt == 0.0
+
+    def test_finish_requires_decoding(self):
+        request = Request(spec=spec())
+        with pytest.raises(StateError):
+            request.mark_finished(1.0)
+
+    def test_tbt_before_finish_rejected(self):
+        request = Request(spec=spec())
+        request.phase = Phase.PREFILLING
+        request.mark_first_token(1.0)
+        with pytest.raises(StateError):
+            _ = request.tbt

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event serving simulation (Fig. 9 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import default_methods
+from repro.engine.request import RequestSpec
+from repro.engine.serving import (
+    EngineConfig,
+    ServingSimulator,
+    concurrent_context_estimate,
+    max_context_tokens,
+    simulate_methods,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.simulator.hardware import platform_preset
+from repro.traces import ShareGPTGenerator, build_workload
+
+
+def single_spec(history=1000, inp=50, out=20, t=0.0, rid="r0"):
+    return RequestSpec(
+        request_id=rid,
+        session_id=f"s-{rid}",
+        arrival_time=t,
+        history_tokens=history,
+        input_tokens=inp,
+        output_tokens=out,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    convs = ShareGPTGenerator(seed=3, mean_rounds=4).sample_many(8)
+    return build_workload(convs, rate_per_second=0.5, seed=4)
+
+
+class TestSingleRequest:
+    def test_request_completes(self, seven_b, default_platform):
+        sim = ServingSimulator(
+            seven_b, default_platform, default_methods(seven_b, default_platform)["hcache"]
+        )
+        report = sim.run([single_spec()])
+        assert report.n_requests == 1
+        assert report.mean_ttft > 0
+        assert report.mean_tbt > 0
+
+    def test_ideal_ttft_is_prefill_only(self, seven_b, default_platform):
+        methods = default_methods(seven_b, default_platform)
+        ideal = ServingSimulator(seven_b, default_platform, methods["ideal"]).run(
+            [single_spec()]
+        )
+        hcache = ServingSimulator(seven_b, default_platform, methods["hcache"]).run(
+            [single_spec()]
+        )
+        assert ideal.mean_ttft < hcache.mean_ttft
+
+    def test_no_history_all_methods_equal(self, seven_b, default_platform):
+        spec = single_spec(history=0)
+        reports = simulate_methods(
+            seven_b, default_platform, default_methods(seven_b, default_platform), [spec]
+        )
+        ttfts = [r.mean_ttft for r in reports.values()]
+        assert max(ttfts) - min(ttfts) < 2e-3
+
+    def test_oversized_request_rejected(self, thirteen_b, default_platform):
+        sim = ServingSimulator(
+            thirteen_b,
+            default_platform,
+            default_methods(thirteen_b, default_platform)["ideal"],
+        )
+        with pytest.raises(ConfigError):
+            sim.run([single_spec(history=30_000)])
+
+    def test_empty_workload_rejected(self, seven_b, default_platform):
+        sim = ServingSimulator(
+            seven_b, default_platform, default_methods(seven_b, default_platform)["ideal"]
+        )
+        with pytest.raises(ConfigError):
+            sim.run([])
+
+
+class TestMethodOrdering:
+    def test_paper_ttft_ordering(self, seven_b, default_platform, small_workload):
+        """Fig. 9a: recompute > KV offload > HCache > ideal."""
+        reports = simulate_methods(
+            seven_b,
+            default_platform,
+            default_methods(seven_b, default_platform),
+            small_workload,
+        )
+        assert (
+            reports["recompute"].mean_ttft
+            > reports["kv-offload"].mean_ttft
+            > reports["hcache"].mean_ttft
+            > reports["ideal"].mean_ttft
+        )
+
+    def test_hcache_ttft_speedup_band(self, seven_b, default_platform, small_workload):
+        """§6.1.1: 1.27-1.90x vs KV offload, 2.21-3.57x vs recompute
+        (checked loosely — queueing widens the spread at load)."""
+        reports = simulate_methods(
+            seven_b,
+            default_platform,
+            default_methods(seven_b, default_platform),
+            small_workload,
+        )
+        vs_offload = reports["kv-offload"].mean_ttft / reports["hcache"].mean_ttft
+        vs_recompute = reports["recompute"].mean_ttft / reports["hcache"].mean_ttft
+        assert 1.1 < vs_offload < 2.5
+        assert 2.0 < vs_recompute < 8.0
+
+    def test_tbt_near_ideal_for_hcache(self, seven_b, default_platform, small_workload):
+        """Fig. 9d-f: HCache's TBT is within ~4% of ideal."""
+        reports = simulate_methods(
+            seven_b,
+            default_platform,
+            default_methods(seven_b, default_platform),
+            small_workload,
+        )
+        overhead = reports["hcache"].mean_tbt / reports["ideal"].mean_tbt - 1.0
+        assert overhead < 0.06
+
+    def test_conservation(self, seven_b, default_platform, small_workload):
+        """Every admitted request finishes exactly once."""
+        reports = simulate_methods(
+            seven_b,
+            default_platform,
+            default_methods(seven_b, default_platform),
+            small_workload,
+        )
+        for report in reports.values():
+            assert report.n_requests == len(small_workload)
+
+
+class TestLoadBehaviour:
+    def test_ttft_grows_with_load(self, seven_b, default_platform):
+        method = default_methods(seven_b, default_platform)["kv-offload"]
+        convs = ShareGPTGenerator(seed=9, mean_rounds=4).sample_many(10)
+        slow = ServingSimulator(seven_b, default_platform, method).run(
+            build_workload(convs, rate_per_second=0.05, seed=1)
+        )
+        fast = ServingSimulator(seven_b, default_platform, method).run(
+            build_workload(convs, rate_per_second=2.0, seed=1)
+        )
+        assert fast.mean_ttft >= slow.mean_ttft * 0.95
+
+    def test_round_ordering_respected(self, seven_b, default_platform):
+        """Round k+1 never gets its first token before round k finishes."""
+        specs = [
+            RequestSpec("s/r0", "s", 0.0, 0, 64, 16),
+            RequestSpec("s/r1", "s", 0.1, 80, 64, 16, depends_on="s/r0"),
+        ]
+        sim = ServingSimulator(
+            seven_b, default_platform, default_methods(seven_b, default_platform)["hcache"]
+        )
+        sim.run(specs)
+        records = {r.request_id: r for r in sim.metrics.records}
+        r0_finish = records["s/r0"].finished_at
+        r1_first_token = records["s/r1"].arrival_time + records["s/r1"].ttft
+        assert r1_first_token >= r0_finish
+
+    def test_horizon_guard(self, seven_b, default_platform):
+        config = EngineConfig(max_sim_seconds=1e-6)
+        sim = ServingSimulator(
+            seven_b,
+            default_platform,
+            default_methods(seven_b, default_platform)["recompute"],
+            config,
+        )
+        with pytest.raises(SimulationError):
+            sim.run([single_spec(t=1.0)])
+
+
+class TestCapacityHelpers:
+    def test_max_context_positive(self, seven_b):
+        assert max_context_tokens(seven_b, platform_preset("a100-dram")) > 0
+
+    def test_concurrent_estimate_matches_paper(self, seven_b, thirteen_b):
+        """§2.4: 7-20 conversations (2.5K each) or 1-3 long contexts."""
+        plat = platform_preset("a100-dram")
+        convs = concurrent_context_estimate(seven_b, plat, 2500)
+        assert 7 <= convs <= 25
+        long_ctx = concurrent_context_estimate(thirteen_b, plat, 16384)
+        assert 1 <= long_ctx <= 3
+
+    def test_zero_context_rejected(self, seven_b):
+        with pytest.raises(ConfigError):
+            concurrent_context_estimate(seven_b, platform_preset("a100-dram"), 0)

@@ -1,0 +1,94 @@
+"""Tests for the quantized hidden-state codec (§7 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.storage.codec import GroupQuantizer, quantization_logit_drift
+
+
+def states(n=20, width=64, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, width)).astype(np.float32)
+
+
+class TestRoundtrip:
+    def test_int8_error_bounded(self):
+        q = GroupQuantizer(bits=8, group_size=16)
+        x = states()
+        err = np.abs(q.decode(q.encode(x)) - x)
+        grouped = x.reshape(20, -1, 16)
+        bound = np.abs(grouped).max(axis=-1, keepdims=True) * q.max_relative_error()
+        assert np.all(err.reshape(20, -1, 16) <= bound + 1e-6)
+
+    def test_int4_coarser_than_int8(self):
+        x = states(seed=1)
+        e8 = np.abs(GroupQuantizer(8, 16).decode(GroupQuantizer(8, 16).encode(x)) - x).max()
+        e4 = np.abs(GroupQuantizer(4, 16).decode(GroupQuantizer(4, 16).encode(x)) - x).max()
+        assert e4 > e8
+
+    def test_zero_preserved_exactly(self):
+        q = GroupQuantizer(8, 16)
+        x = np.zeros((4, 32), dtype=np.float32)
+        assert np.array_equal(q.decode(q.encode(x)), x)
+
+    def test_shape_preserved(self):
+        q = GroupQuantizer(8, 32)
+        x = states(7, 64, seed=2)
+        assert q.decode(q.encode(x)).shape == x.shape
+
+    def test_scale_invariance(self):
+        """Symmetric per-group scaling makes the codec scale-covariant."""
+        q = GroupQuantizer(8, 16)
+        x = states(seed=3)
+        a = q.decode(q.encode(x))
+        b = q.decode(q.encode(x * 1000.0))
+        assert np.allclose(a * 1000.0, b, rtol=1e-5)
+
+    def test_width_must_divide(self):
+        q = GroupQuantizer(8, 48)
+        with pytest.raises(ConfigError):
+            q.encode(states(4, 64))
+
+    def test_codec_mismatch_rejected(self):
+        block = GroupQuantizer(8, 16).encode(states())
+        with pytest.raises(ConfigError):
+            GroupQuantizer(4, 16).decode(block)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            GroupQuantizer(bits=3)
+
+
+class TestStorageSizing:
+    def test_int8_halves_fp16(self):
+        q = GroupQuantizer(8, 64)
+        assert q.compression_ratio(4096) == pytest.approx(1.94, abs=0.05)
+
+    def test_int4_near_4x(self):
+        q = GroupQuantizer(4, 64)
+        assert 3.4 < q.compression_ratio(4096) < 4.0
+
+    def test_block_storage_bytes(self):
+        q = GroupQuantizer(8, 64)
+        block = q.encode(states(10, 128, seed=4))
+        assert block.storage_bytes == 10 * 128 + 10 * 2 * 2  # codes + scales
+
+    def test_smaller_groups_cost_more_scales(self):
+        fine = GroupQuantizer(8, 16).compression_ratio(4096)
+        coarse = GroupQuantizer(8, 128).compression_ratio(4096)
+        assert coarse > fine
+
+
+class TestEndTaskImpact:
+    def test_int8_logit_drift_small(self, tiny_model, tiny_config):
+        tokens = np.arange(24) % tiny_config.vocab_size
+        drift = quantization_logit_drift(tiny_model, tokens, GroupQuantizer(8, 16))
+        assert drift < 0.2
+
+    def test_int4_drifts_more(self, tiny_model, tiny_config):
+        tokens = np.arange(24) % tiny_config.vocab_size
+        d8 = quantization_logit_drift(tiny_model, tokens, GroupQuantizer(8, 16))
+        d4 = quantization_logit_drift(tiny_model, tokens, GroupQuantizer(4, 16))
+        assert d4 > d8

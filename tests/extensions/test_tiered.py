@@ -1,0 +1,86 @@
+"""Tests for the tiered DRAM+SSD backend (§4 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import build_storage_array
+from repro.errors import ConfigError
+from repro.simulator.hardware import platform_preset
+from repro.storage.tiered import TieredBackend
+
+MB = 1024**2
+
+
+@pytest.fixture
+def backend():
+    array = build_storage_array(platform_preset("compute-sufficient"))  # 1 SSD
+    return TieredBackend(array, dram_capacity_bytes=512 * MB)
+
+
+class TestPlacement:
+    def test_first_read_from_ssd(self, backend):
+        timing = backend.read("doc", 100 * MB, 1 * MB)
+        assert timing.tier == "ssd"
+
+    def test_second_read_from_dram(self, backend):
+        backend.read("doc", 100 * MB, 1 * MB)
+        timing = backend.read("doc", 100 * MB, 1 * MB)
+        assert timing.tier == "dram"
+
+    def test_dram_faster_than_one_ssd(self, backend):
+        ssd = backend.read("doc", 100 * MB, 1 * MB)
+        dram = backend.read("doc", 100 * MB, 1 * MB)
+        assert dram.seconds < ssd.seconds / 3  # 32 GB/s link vs 6.9 GB/s SSD
+
+    def test_capacity_evicts_lru(self, backend):
+        backend.read("a", 300 * MB, 1 * MB)
+        backend.read("b", 300 * MB, 1 * MB)  # evicts a
+        assert not backend.is_resident("a")
+        assert backend.is_resident("b")
+
+    def test_explicit_evict(self, backend):
+        backend.read("doc", 10 * MB, 1 * MB)
+        backend.evict("doc")
+        assert not backend.is_resident("doc")
+        assert backend.read("doc", 10 * MB, 1 * MB).tier == "ssd"
+
+    def test_evict_missing_is_noop(self, backend):
+        backend.evict("ghost")
+
+
+class TestPrefetch:
+    def test_prefetch_makes_read_hit(self, backend):
+        copy_time = backend.prefetch("doc", 50 * MB)
+        assert copy_time > 0
+        assert backend.read("doc", 50 * MB, 1 * MB).tier == "dram"
+
+    def test_prefetch_does_not_skew_hit_stats(self, backend):
+        backend.prefetch("doc", 50 * MB)
+        backend.read("doc", 50 * MB, 1 * MB)
+        assert backend.dram_hit_ratio == 1.0
+
+    def test_invalid_prefetch_rejected(self, backend):
+        with pytest.raises(ConfigError):
+            backend.prefetch("doc", 0)
+
+
+class TestAccounting:
+    def test_hit_ratio(self, backend):
+        backend.read("a", 10 * MB, MB)
+        backend.read("a", 10 * MB, MB)
+        backend.read("b", 10 * MB, MB)
+        assert backend.dram_hit_ratio == pytest.approx(1 / 3)
+
+    def test_resident_bytes(self, backend):
+        backend.read("a", 10 * MB, MB)
+        assert backend.resident_bytes == 10 * MB
+
+    def test_invalid_read_rejected(self, backend):
+        with pytest.raises(ConfigError):
+            backend.read("a", 0, MB)
+
+    def test_invalid_capacity_rejected(self):
+        array = build_storage_array(platform_preset("default"))
+        with pytest.raises(ConfigError):
+            TieredBackend(array, dram_capacity_bytes=0)

@@ -1,0 +1,99 @@
+"""Tests for model configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import MODELS, ModelConfig, model_preset
+
+
+class TestPresets:
+    def test_evaluated_models_present(self):
+        for name in ("llama2-7b", "llama2-13b", "opt-30b"):
+            assert name in MODELS
+
+    def test_llama2_7b_architecture(self, seven_b):
+        assert seven_b.n_layers == 32
+        assert seven_b.hidden_size == 4096
+        assert seven_b.n_heads == 32
+
+    def test_llama2_13b_architecture(self, thirteen_b):
+        assert thirteen_b.n_layers == 40
+        assert thirteen_b.hidden_size == 5120
+
+    def test_opt_30b_architecture(self, opt_30b):
+        assert opt_30b.n_layers == 48
+        assert opt_30b.hidden_size == 7168
+        assert opt_30b.norm == "layernorm"
+        assert not opt_30b.rope
+
+    def test_context_expanded_to_16k(self, seven_b):
+        """§6: "We expand the maximum context length ... to 16K"."""
+        assert seven_b.max_context >= 16384
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            model_preset("gpt-5")
+
+    def test_preset_case_insensitive(self):
+        assert model_preset("LLAMA2-7B").name == "llama2-7b"
+
+
+class TestDerivedSizes:
+    def test_hidden_half_of_kv(self, seven_b, thirteen_b, opt_30b):
+        """§3.2: the 2x transmission saving for MHA models."""
+        for config in (seven_b, thirteen_b, opt_30b):
+            assert config.kv_bytes_per_token_layer == 2 * config.hidden_bytes_per_token_layer
+
+    def test_7b_per_token_kv_512kib(self, seven_b):
+        # 32 layers * 2 * 4096 * 2 bytes = 512 KiB per token.
+        assert seven_b.kv_bytes_per_token == 512 * 1024
+
+    def test_param_counts_plausible(self, seven_b, thirteen_b, opt_30b):
+        assert 6.0e9 < seven_b.param_count < 7.5e9
+        assert 12.5e9 < thirteen_b.param_count < 14.0e9
+        assert 28e9 < opt_30b.param_count < 32e9
+
+    def test_weight_bytes_fp16(self, seven_b):
+        assert seven_b.weight_bytes == 2 * seven_b.param_count
+
+    def test_head_dim(self, seven_b):
+        assert seven_b.head_dim == 128
+
+    def test_gqa_config_supported(self):
+        gqa = ModelConfig(
+            name="gqa-test",
+            n_layers=2,
+            hidden_size=64,
+            n_heads=8,
+            n_kv_heads=2,
+            ffn_hidden_size=128,
+            n_ffn_mats=3,
+            vocab_size=100,
+        )
+        assert gqa.kv_size == 16
+        # GQA shrinks the KV cache relative to the hidden state.
+        assert gqa.kv_bytes_per_token_layer < gqa.hidden_bytes_per_token_layer
+
+
+class TestValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 2, 100, 3, 3, 100, 2, 10)
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 2, 64, 8, 3, 100, 2, 10)
+
+    def test_bad_norm(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 2, 64, 8, 8, 100, 2, 10, norm="batchnorm")
+
+    def test_bad_ffn_mats(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 2, 64, 8, 8, 100, 4, 10)
+
+    def test_zero_layers(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 0, 64, 8, 8, 100, 2, 10)

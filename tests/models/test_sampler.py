@@ -1,0 +1,64 @@
+"""Tests for sampling strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.sampler import greedy, sample_temperature, sample_top_k
+
+
+class TestGreedy:
+    def test_picks_argmax(self):
+        assert greedy(np.array([0.1, 5.0, 2.0])) == 1
+
+    def test_deterministic(self):
+        logits = np.random.default_rng(0).normal(size=100)
+        assert greedy(logits) == greedy(logits)
+
+
+class TestTemperature:
+    def test_low_temperature_approaches_greedy(self):
+        logits = np.array([0.0, 10.0, 0.0])
+        rng = np.random.default_rng(0)
+        samples = {sample_temperature(logits, 0.01, rng) for _ in range(20)}
+        assert samples == {1}
+
+    def test_high_temperature_spreads(self):
+        logits = np.array([0.0, 1.0, 0.0, 0.5])
+        rng = np.random.default_rng(1)
+        samples = {sample_temperature(logits, 100.0, rng) for _ in range(200)}
+        assert len(samples) == 4
+
+    def test_zero_temperature_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_temperature(np.array([1.0]), 0.0, np.random.default_rng(0))
+
+    def test_reproducible_with_seed(self):
+        logits = np.random.default_rng(2).normal(size=50)
+        a = [sample_temperature(logits, 1.0, np.random.default_rng(7)) for _ in range(1)]
+        b = [sample_temperature(logits, 1.0, np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+
+class TestTopK:
+    def test_restricts_to_top_k(self):
+        logits = np.array([10.0, 9.0, -50.0, -50.0])
+        rng = np.random.default_rng(3)
+        samples = {sample_top_k(logits, 2, 1.0, rng) for _ in range(50)}
+        assert samples <= {0, 1}
+
+    def test_k_one_is_greedy(self):
+        logits = np.array([1.0, 3.0, 2.0])
+        rng = np.random.default_rng(4)
+        assert sample_top_k(logits, 1, 1.0, rng) == 1
+
+    def test_k_larger_than_vocab_ok(self):
+        logits = np.array([1.0, 2.0])
+        rng = np.random.default_rng(5)
+        assert sample_top_k(logits, 10, 1.0, rng) in (0, 1)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_top_k(np.array([1.0]), 0, 1.0, np.random.default_rng(0))

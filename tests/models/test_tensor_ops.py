@@ -1,0 +1,101 @@
+"""Tests for tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.tensor_ops import causal_mask, gelu, layernorm, rmsnorm, silu, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 9)).astype(np.float32)
+        out = softmax(x)
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_stable_for_large_values(self):
+        x = np.array([1e4, 1e4 + 1.0], dtype=np.float32)
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[1] > out[0]
+
+    def test_invariant_to_shift(self):
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        assert np.allclose(softmax(x), softmax(x + 100.0), atol=1e-6)
+
+    def test_axis_argument(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        out = softmax(x, axis=0)
+        assert np.allclose(out.sum(axis=0), 1.0)
+
+
+class TestNorms:
+    def test_rmsnorm_unit_scale(self):
+        x = np.random.default_rng(2).normal(size=(10, 16)).astype(np.float32)
+        out = rmsnorm(x, np.ones(16, dtype=np.float32))
+        rms = np.sqrt(np.mean(np.square(out), axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rmsnorm_weight_applied(self):
+        x = np.ones((1, 4), dtype=np.float32)
+        out = rmsnorm(x, np.array([2.0, 2.0, 2.0, 2.0], dtype=np.float32))
+        assert np.allclose(out, 2.0, atol=1e-4)
+
+    def test_rmsnorm_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            rmsnorm(np.ones((2, 4)), np.ones(8))
+
+    def test_layernorm_zero_mean_unit_var(self):
+        x = np.random.default_rng(3).normal(loc=5.0, size=(8, 32)).astype(np.float32)
+        out = layernorm(x, np.ones(32, dtype=np.float32))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_bias(self):
+        x = np.random.default_rng(4).normal(size=(2, 8)).astype(np.float32)
+        bias = np.full(8, 3.0, dtype=np.float32)
+        out = layernorm(x, np.ones(8, dtype=np.float32), bias=bias)
+        assert np.allclose(out.mean(axis=-1), 3.0, atol=1e-4)
+
+    def test_layernorm_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            layernorm(np.ones((2, 4)), np.ones(5))
+
+
+class TestActivations:
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_positive_limit(self):
+        x = np.array([20.0])
+        assert silu(x)[0] == pytest.approx(20.0, rel=1e-4)
+
+    def test_gelu_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_gelu_monotone_region(self):
+        x = np.linspace(0, 5, 50)
+        y = gelu(x)
+        assert np.all(np.diff(y) > 0)
+
+
+class TestCausalMask:
+    def test_prefill_mask_lower_triangular(self):
+        mask = causal_mask(3, 3, 0)
+        expected = np.tril(np.ones((3, 3), dtype=bool))
+        assert np.array_equal(mask, expected)
+
+    def test_decode_mask_sees_all_history(self):
+        mask = causal_mask(1, 10, 9)
+        assert mask.all()
+
+    def test_offset_blocks_future(self):
+        mask = causal_mask(2, 5, 2)
+        assert mask[0].tolist() == [True, True, True, False, False]
+        assert mask[1].tolist() == [True, True, True, True, False]
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ConfigError):
+            causal_mask(-1, 3, 0)

@@ -1,0 +1,84 @@
+"""Tests for the discrete-event primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_refuses_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        for name in ("first", "second", "third"):
+            q.push(1.0, name)
+        assert [q.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(7.5, "x")
+        q.push(2.5, "y")
+        assert q.peek_time() == 2.5
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, "x")
+
+    def test_drain_consumes_everything(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(float(5 - i), i)
+        drained = list(q.drain())
+        assert [e for _, e in drained] == [4, 3, 2, 1, 0]
+        assert not q
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(2.0, "late")
+        q.push(1.0, "early")
+        assert q.pop() == (1.0, "early")
+        q.push(1.5, "mid")
+        assert q.pop() == (1.5, "mid")
+        assert q.pop() == (2.0, "late")

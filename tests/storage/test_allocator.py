@@ -1,0 +1,126 @@
+"""Tests for chunk allocation accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError, StateError
+from repro.storage.allocator import ChunkAllocator
+from repro.storage.chunk import ChunkLayout
+
+
+@pytest.fixture
+def layout():
+    return ChunkLayout(tokens_per_chunk=64, bytes_per_token=100)
+
+
+@pytest.fixture
+def allocator():
+    return ChunkAllocator(capacity_bytes=1_000_000)
+
+
+class TestRunLifecycle:
+    def test_open_and_extend(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        new = allocator.extend("ctx", 0, "hidden", 100)
+        assert len(new) == 2  # ceil(100 / 64)
+        run = allocator.run("ctx", 0, "hidden")
+        assert run.n_tokens == 100
+        assert run.n_chunks == 2
+
+    def test_reopen_rejected(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        with pytest.raises(StateError):
+            allocator.open_run("ctx", 0, "hidden", layout)
+
+    def test_extend_unknown_run_rejected(self, allocator):
+        with pytest.raises(StateError):
+            allocator.extend("ctx", 0, "hidden", 10)
+
+    def test_incremental_extend_allocates_lazily(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        first = allocator.extend("ctx", 0, "hidden", 60)
+        second = allocator.extend("ctx", 0, "hidden", 4)  # fills chunk 0
+        third = allocator.extend("ctx", 0, "hidden", 1)  # needs chunk 1
+        assert [len(first), len(second), len(third)] == [1, 0, 1]
+
+    def test_chunk_keys_indexed_sequentially(self, allocator, layout):
+        allocator.open_run("ctx", 2, "kv", layout)
+        keys = allocator.extend("ctx", 2, "kv", 200)
+        assert [k.index for k in keys] == [0, 1, 2, 3]
+        assert all(k.layer == 2 and k.kind == "kv" for k in keys)
+
+    def test_negative_extend_rejected(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        with pytest.raises(AllocationError):
+            allocator.extend("ctx", 0, "hidden", -5)
+
+
+class TestCapacity:
+    def test_capacity_enforced(self, layout):
+        tight = ChunkAllocator(capacity_bytes=layout.chunk_bytes)
+        tight.open_run("ctx", 0, "hidden", layout)
+        tight.extend("ctx", 0, "hidden", 64)
+        with pytest.raises(AllocationError):
+            tight.extend("ctx", 0, "hidden", 1)
+
+    def test_failed_extend_leaves_run_unchanged(self, layout):
+        tight = ChunkAllocator(capacity_bytes=layout.chunk_bytes)
+        tight.open_run("ctx", 0, "hidden", layout)
+        tight.extend("ctx", 0, "hidden", 10)
+        with pytest.raises(AllocationError):
+            tight.extend("ctx", 0, "hidden", 1000)
+        assert tight.run("ctx", 0, "hidden").n_tokens == 10
+
+    def test_free_restores_capacity(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        allocator.extend("ctx", 0, "hidden", 500)
+        before = allocator.free_bytes
+        freed = allocator.free_context("ctx")
+        assert freed > 0
+        assert allocator.free_bytes == before + freed
+        assert allocator.free_bytes == allocator.capacity_bytes
+
+    def test_free_unknown_context_rejected(self, allocator):
+        with pytest.raises(StateError):
+            allocator.free_context("ghost")
+
+    def test_free_context_drops_all_layers(self, allocator, layout):
+        for layer in range(3):
+            allocator.open_run("ctx", layer, "hidden", layout)
+            allocator.extend("ctx", layer, "hidden", 64)
+        allocator.free_context("ctx")
+        assert allocator.stats.n_runs == 0
+        assert not allocator.has_run("ctx", 0, "hidden")
+
+
+class TestStats:
+    def test_fragmentation_bounded(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        allocator.extend("ctx", 0, "hidden", 65)
+        frag = allocator.stats.internal_fragmentation
+        assert 0 < frag < layout.chunk_bytes
+
+    def test_peak_tracks_high_water(self, allocator, layout):
+        allocator.open_run("a", 0, "hidden", layout)
+        allocator.extend("a", 0, "hidden", 640)
+        peak = allocator.stats.peak_allocated_bytes
+        allocator.free_context("a")
+        assert allocator.stats.allocated_bytes == 0
+        assert allocator.stats.peak_allocated_bytes == peak
+
+    def test_context_ids(self, allocator, layout):
+        allocator.open_run("a", 0, "hidden", layout)
+        allocator.open_run("b", 0, "hidden", layout)
+        assert allocator.context_ids() == ("a", "b")
+
+    def test_used_never_exceeds_allocated(self, allocator, layout):
+        allocator.open_run("ctx", 0, "hidden", layout)
+        for n in (1, 30, 64, 7):
+            allocator.extend("ctx", 0, "hidden", n)
+            stats = allocator.stats
+            assert stats.used_bytes <= stats.allocated_bytes
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            ChunkAllocator(0)

@@ -1,0 +1,112 @@
+"""Tests for the round-robin storage array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator.hardware import PM9A3, DRAMSpec
+from repro.storage.array import StorageArray
+
+
+@pytest.fixture
+def four_ssds():
+    return StorageArray([PM9A3] * 4, link_bandwidth=32e9)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            StorageArray([], link_bandwidth=32e9)
+
+    def test_bad_link_rejected(self):
+        with pytest.raises(ConfigError):
+            StorageArray([PM9A3], link_bandwidth=0)
+
+    def test_len(self, four_ssds):
+        assert len(four_ssds) == 4
+
+
+class TestPlacement:
+    def test_round_robin(self, four_ssds):
+        ids = [four_ssds.device_for(i).device_id for i in range(8)]
+        assert ids == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_offset_rotates(self, four_ssds):
+        ids = [four_ssds.device_for(0, offset=layer).device_id for layer in range(4)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_negative_index_rejected(self, four_ssds):
+        with pytest.raises(ConfigError):
+            four_ssds.device_for(-1)
+
+    def test_functional_balance_with_rotation(self, four_ssds):
+        """Writing 5 chunks per 'layer' with rotating offsets balances
+        bytes across devices to within one chunk."""
+        chunk = np.zeros((64, 128), dtype=np.float32)
+        for layer in range(8):
+            for idx in range(5):
+                four_ssds.device_for(idx, offset=layer).write((layer, idx), chunk)
+        used = four_ssds.used_bytes_per_device
+        assert max(used) - min(used) <= chunk.nbytes
+
+
+class TestTiming:
+    def test_aggregate_bandwidth_capped_by_link(self):
+        many = StorageArray([PM9A3] * 8, link_bandwidth=32e9)
+        assert many.aggregate_read_bandwidth == pytest.approx(32e9)
+
+    def test_aggregate_bandwidth_device_bound(self, four_ssds):
+        assert four_ssds.aggregate_read_bandwidth == pytest.approx(4 * 6.9e9)
+
+    def test_more_devices_read_faster(self):
+        one = StorageArray([PM9A3], link_bandwidth=32e9)
+        four = StorageArray([PM9A3] * 4, link_bandwidth=32e9)
+        chunk_bytes = 64 * 8192
+        t1 = one.layer_read_timing(16, chunk_bytes).seconds
+        t4 = four.layer_read_timing(16, chunk_bytes).seconds
+        assert t4 < t1
+        assert t1 / t4 == pytest.approx(4.0, rel=0.1)
+
+    def test_zero_chunks_free(self, four_ssds):
+        timing = four_ssds.layer_read_timing(0, 1024)
+        assert timing.seconds == 0.0
+        assert timing.nbytes == 0
+
+    def test_link_bottleneck_detected(self):
+        dram = StorageArray([DRAMSpec()], link_bandwidth=32e9)
+        timing = dram.layer_read_timing(16, 64 * 8192)
+        assert timing.bottleneck == "link"
+
+    def test_device_bottleneck_detected(self, four_ssds):
+        timing = four_ssds.layer_read_timing(16, 64 * 8192)
+        assert timing.bottleneck == "device"
+
+    def test_read_time_monotone_in_bytes(self, four_ssds):
+        chunk = 64 * 8192
+        times = [four_ssds.read_time(n * chunk, chunk) for n in (1, 4, 16, 64)]
+        assert times == sorted(times)
+
+    def test_write_slower_than_read(self, four_ssds):
+        chunk = 64 * 8192
+        nbytes = 32 * chunk
+        assert four_ssds.write_time(nbytes, chunk) > four_ssds.read_time(nbytes, chunk)
+
+    def test_invalid_chunk_bytes_rejected(self, four_ssds):
+        with pytest.raises(ConfigError):
+            four_ssds.read_time(1024, 0)
+
+    def test_negative_chunks_rejected(self, four_ssds):
+        with pytest.raises(ConfigError):
+            four_ssds.layer_read_timing(-1, 1024)
+
+    def test_bandwidth_scaling_matches_fig11d(self):
+        """Fig. 11d-f: KV-offload-style reads scale with the disk count."""
+        chunk = 64 * 16384
+        speeds = []
+        for n in (1, 2, 4):
+            arr = StorageArray([PM9A3] * n, link_bandwidth=32e9)
+            speeds.append(1.0 / arr.read_time(256 * chunk, chunk))
+        assert speeds[1] / speeds[0] == pytest.approx(2.0, rel=0.05)
+        assert speeds[2] / speeds[1] == pytest.approx(2.0, rel=0.05)

@@ -1,0 +1,68 @@
+"""Tests for the L-Eval-style trace generator (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.leval import LEVAL_TASKS, LEvalGenerator, task_statistics
+
+
+class TestTable1Statistics:
+    @pytest.mark.parametrize("task", ["paper-assistant", "gsm-100", "quality"])
+    def test_task_means_match_table1(self, task):
+        gen = LEvalGenerator(seed=1)
+        stats = task_statistics(gen.sample_task(task, 400))
+        expected = LEVAL_TASKS[task]
+        assert stats["context"] == pytest.approx(expected.mean_context, rel=0.15)
+        assert stats["input"] == pytest.approx(expected.mean_input, rel=0.25)
+
+    def test_bimodal_shape(self):
+        """§2.3: contexts reach 16K while instructions stay below ~150."""
+        gen = LEvalGenerator(seed=2)
+        reqs = gen.sample_task("paper-assistant", 200)
+        stats = task_statistics(reqs)
+        assert stats["context"] > 40 * stats["input"]
+
+    def test_gsm_outputs_tiny(self):
+        """Table 1: GSM-100 answers average 4.3 tokens."""
+        gen = LEvalGenerator(seed=3)
+        stats = task_statistics(gen.sample_task("gsm-100", 300))
+        assert stats["output"] < 10
+
+    def test_mixed_spans_4k_to_16k(self):
+        """§6.1.2: the mixed workload's history spans a large range."""
+        gen = LEvalGenerator(seed=4)
+        reqs = gen.sample_mixed(300)
+        contexts = [r.context_tokens for r in reqs]
+        assert min(contexts) < 6000
+        assert max(contexts) > 12000
+        assert max(contexts) <= 16384
+
+
+class TestGeneration:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigError):
+            LEvalGenerator().sample_request("unknown-task", "r0")
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ConfigError):
+            LEvalGenerator().sample_task("quality", 0)
+
+    def test_deterministic_by_seed(self):
+        a = LEvalGenerator(seed=9).sample_task("quality", 5)
+        b = LEvalGenerator(seed=9).sample_task("quality", 5)
+        assert a == b
+
+    def test_context_pool_distinct_ids(self):
+        pool = LEvalGenerator(seed=5).sample_context_pool("quality", 20)
+        assert len({r.context_id for r in pool}) == 20
+
+    def test_context_cap_respected(self):
+        gen = LEvalGenerator(seed=6, max_context=8192)
+        reqs = gen.sample_task("mixed", 100)
+        assert all(r.context_tokens <= 8192 for r in reqs)
+
+    def test_empty_statistics_rejected(self):
+        with pytest.raises(ConfigError):
+            task_statistics([])

@@ -1,0 +1,86 @@
+"""Tests for the ShareGPT4-style trace generator (Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.sharegpt import (
+    MAX_HISTORY_TOKENS,
+    ShareGPTGenerator,
+    trace_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    return ShareGPTGenerator(seed=0).sample_many(400)
+
+
+class TestGeneration:
+    def test_sessions_have_multiple_rounds(self, big_trace):
+        assert all(c.n_rounds >= 1 for c in big_trace)
+        assert np.mean([c.n_rounds for c in big_trace]) > 2
+
+    def test_history_accumulates(self, big_trace):
+        for conv in big_trace[:50]:
+            acc = 0
+            for r in conv.rounds:
+                assert r.history_tokens == acc
+                acc += r.input_tokens + r.output_tokens
+
+    def test_history_capped(self, big_trace):
+        for conv in big_trace:
+            assert conv.final_context <= MAX_HISTORY_TOKENS
+
+    def test_round_indices_sequential(self, big_trace):
+        for conv in big_trace[:50]:
+            assert [r.round_index for r in conv.rounds] == list(range(conv.n_rounds))
+
+    def test_deterministic_by_seed(self):
+        a = ShareGPTGenerator(seed=5).sample_many(10)
+        b = ShareGPTGenerator(seed=5).sample_many(10)
+        assert [c.rounds for c in a] == [c.rounds for c in b]
+
+    def test_session_ids_unique(self, big_trace):
+        ids = [c.session_id for c in big_trace]
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            ShareGPTGenerator(mean_input=0)
+        with pytest.raises(ConfigError):
+            ShareGPTGenerator(mean_rounds=0.5)
+        with pytest.raises(ConfigError):
+            ShareGPTGenerator().sample_many(0)
+
+
+class TestFig3Statistics:
+    def test_mean_input_matches_paper(self, big_trace):
+        """Fig. 3a: average input 66.8 tokens per round (within 25%)."""
+        stats = trace_statistics(big_trace)
+        assert stats.mean_input == pytest.approx(66.8, rel=0.25)
+
+    def test_mean_output_matches_paper(self, big_trace):
+        """Fig. 3a: average output 358.8 tokens per round (within 25%)."""
+        stats = trace_statistics(big_trace)
+        assert stats.mean_output == pytest.approx(358.8, rel=0.25)
+
+    def test_history_median_exceeds_paper_claim(self, big_trace):
+        """Fig. 3b: half of the conversations exceed 2.5K of history."""
+        stats = trace_statistics(big_trace)
+        assert stats.history_p50 > 1500
+
+    def test_cdf_monotone(self, big_trace):
+        stats = trace_statistics(big_trace)
+        values = [v for _, v in stats.history_cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_describe(self, big_trace):
+        assert "sessions" in trace_statistics(big_trace).describe()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_statistics([])

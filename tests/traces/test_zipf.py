@@ -1,0 +1,73 @@
+"""Tests for Zipfian popularity sampling (§6.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.zipf import ZipfianSampler
+
+
+class TestDistribution:
+    def test_uniform_when_alpha_none(self):
+        sampler = ZipfianSampler(10, None, seed=0)
+        assert np.allclose(sampler.probabilities, 0.1)
+
+    def test_alpha_zero_uniform(self):
+        sampler = ZipfianSampler(10, 0.0, seed=0)
+        assert np.allclose(sampler.probabilities, 0.1)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfianSampler(50, 1.4, seed=0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_skew_orders_probabilities(self):
+        sampler = ZipfianSampler(20, 1.5, seed=0)
+        probs = sampler.probabilities
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_higher_alpha_more_concentrated(self):
+        """The mechanism behind Fig. 15's rising hit ratio."""
+        masses = [
+            ZipfianSampler(100, alpha, seed=0).theoretical_top_k_mass(5)
+            for alpha in (1.2, 1.6, 2.0)
+        ]
+        assert masses == sorted(masses)
+
+    def test_sample_range(self):
+        sampler = ZipfianSampler(7, 1.2, seed=1)
+        draws = sampler.sample(1000)
+        assert draws.min() >= 0
+        assert draws.max() < 7
+
+    def test_empirical_matches_theoretical(self):
+        sampler = ZipfianSampler(10, 1.5, seed=2)
+        draws = sampler.sample(50_000)
+        empirical_top1 = np.mean(draws == 0)
+        assert empirical_top1 == pytest.approx(sampler.probabilities[0], rel=0.05)
+
+    def test_deterministic_by_seed(self):
+        a = ZipfianSampler(10, 1.2, seed=3).sample(100)
+        b = ZipfianSampler(10, 1.2, seed=3).sample(100)
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_zero_items_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfianSampler(0, 1.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfianSampler(10, -1.0)
+
+    def test_zero_draws_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfianSampler(10, 1.0).sample(0)
+
+    def test_top_k_bounds(self):
+        sampler = ZipfianSampler(10, 1.0)
+        with pytest.raises(ConfigError):
+            sampler.theoretical_top_k_mass(11)
+        assert sampler.theoretical_top_k_mass(10) == pytest.approx(1.0)
