@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local gate: tier-1 tests plus a hot-path benchmark smoke run.
+#
+# Run this before sending a PR.  The smoke run executes the same code
+# paths as the committed BENCH_hotpath.json (decode-with-capture state
+# path, end-to-end decode, restore with bit-exactness verification) at a
+# reduced size, so hot-path regressions and numerics breakage surface
+# locally before the benchmark numbers drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== hot-path benchmark (smoke) =="
+python benchmarks/bench_hotpath.py --smoke
+
+echo "all checks passed"

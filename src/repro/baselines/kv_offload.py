@@ -68,6 +68,7 @@ class KVOffloadMethod(RestorationMethod):
     ) -> KVCache:
         """Fetch every layer's packed KV rows back into a cache."""
         cache = KVCache(config)
+        cache.reserve(manager.tokens_stored(context_id, 0, kind="kv"))
         for layer in range(config.n_layers):
             cache.install_packed(layer, manager.load_layer(context_id, layer, kind="kv"))
         return cache

@@ -144,14 +144,18 @@ class HCacheEngine:
                 self.storage.append(context_id, layer, hidden_states[layer], kind="hidden")
             elif method is LayerMethod.KV:
                 assert kv_cache is not None
-                packed = kv_cache.packed_layer(layer)
-                if packed.shape[0] < start + n_new:
+                have = kv_cache.layer_len(layer)
+                if have < start + n_new:
                     raise ConfigError(
-                        f"kv_cache holds {packed.shape[0]} tokens at layer {layer}, "
+                        f"kv_cache holds {have} tokens at layer {layer}, "
                         f"need {start + n_new}"
                     )
+                # Pack only the new rows — O(block), not O(history).
                 self.storage.append(
-                    context_id, layer, packed[start : start + n_new], kind="kv"
+                    context_id,
+                    layer,
+                    kv_cache.packed_rows(layer, start, start + n_new),
+                    kind="kv",
                 )
         self._contexts[context_id] = start + n_new
         self._tokens[context_id].extend(int(t) for t in tokens)
@@ -175,40 +179,64 @@ class HCacheEngine:
     # restoration
     # ------------------------------------------------------------------
 
-    def restore(self, context_id: str) -> KVCache:
+    def restore(self, context_id: str, reserve_tokens: int = 0) -> KVCache:
         """Rebuild the context's full KV cache from saved state.
 
         Layers marked HIDDEN are projected from their stored hidden states
-        (the HCache path); KV layers are installed from their stored pairs;
-        a RECOMPUTE prefix is replayed from the retained tokens.  The
-        result is numerically identical to the evicted cache.
+        (the HCache path) straight into the cache's preallocated backing
+        buffers; KV layers are installed from their stored pairs; a
+        RECOMPUTE prefix is replayed from the retained tokens.  HIDDEN and
+        KV layers come back bit-identical to the states that were saved; a
+        RECOMPUTE prefix replays the forward pass as one block, which
+        matches incrementally-decoded originals to float rounding (the
+        same GEMM-blocking caveat as restoring any decode-produced state).
+
+        ``reserve_tokens`` lets the serving engine size the cache for the
+        upcoming round up front, so the restored history never has to be
+        recopied by a post-restore capacity growth.
         """
         n_tokens = self.saved_tokens(context_id)
         if n_tokens == 0:
             raise RestorationError(f"context {context_id!r} has no saved state")
         config = self.transformer.config
         positions = np.arange(n_tokens)
+        hidden_layers = list(self.scheme.layers_with(LayerMethod.HIDDEN))
+        kv_layers = list(self.scheme.layers_with(LayerMethod.KV))
         if self.scheme.n_recompute:
             tokens = np.array(self._tokens[context_id])
             cache, _ = self.transformer.recompute_prefix(tokens, self.scheme.n_recompute)
         else:
             cache = KVCache(config)
-        for layer, method in enumerate(self.scheme.methods):
-            if method is LayerMethod.HIDDEN:
-                hidden = self.storage.load_layer(context_id, layer, kind="hidden")
-                if hidden.shape[0] != n_tokens:
+        cache.reserve(max(n_tokens, reserve_tokens))
+        if hidden_layers:
+            # Gather every HIDDEN layer's run directly into one stacked
+            # block and project them all through the batched norm + GEMM
+            # path, writing into the cache's backing storage.
+            stacked = np.empty(
+                (len(hidden_layers), n_tokens, config.hidden_size), dtype=np.float32
+            )
+            for i, layer in enumerate(hidden_layers):
+                stored = self.storage.tokens_stored(context_id, layer, kind="hidden")
+                if stored != n_tokens:
                     raise RestorationError(
-                        f"layer {layer} stores {hidden.shape[0]} tokens, expected {n_tokens}"
+                        f"layer {layer} stores {stored} tokens, expected {n_tokens}"
                     )
-                k, v = self.transformer.project_kv(layer, hidden, positions)
-                cache.install(layer, k, v)
-            elif method is LayerMethod.KV:
-                packed = self.storage.load_layer(context_id, layer, kind="kv")
-                if packed.shape[0] != n_tokens:
+                self.storage.load_layer(context_id, layer, kind="hidden", out=stacked[i])
+            self.transformer.project_kv_into(stacked, positions, cache, layers=hidden_layers)
+        if kv_layers:
+            # One staging buffer for every KV layer: chunks read straight
+            # into it, install_packed writes it into cache storage.
+            staging = np.empty(
+                (n_tokens, self.storage.meta(context_id).kv_width), dtype=np.float32
+            )
+            for layer in kv_layers:
+                stored = self.storage.tokens_stored(context_id, layer, kind="kv")
+                if stored != n_tokens:
                     raise RestorationError(
-                        f"layer {layer} stores {packed.shape[0]} KV rows, expected {n_tokens}"
+                        f"layer {layer} stores {stored} KV rows, expected {n_tokens}"
                     )
-                cache.install_packed(layer, packed)
+                self.storage.load_layer(context_id, layer, kind="kv", out=staging)
+                cache.install_packed(layer, staging)
         if len(cache) != n_tokens:
             raise RestorationError("restored cache length mismatch")
         return cache

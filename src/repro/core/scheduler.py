@@ -108,11 +108,17 @@ class BubbleFreeScheduler:
         The complementary method follows the platform regime: KV offload on
         compute-bound platforms, token recomputation on IO-bound ones.  A
         local refinement step checks the closed form's integer neighbours
-        on the full pipeline model and keeps the best, mirroring how the
-        real system would re-profile around the analytic answer.
+        — plus the two pure endpoints, so extreme profiles where mixing
+        never pays (e.g. hidden compute dwarfing the KV transfer it
+        saves) fall back to the better pure scheme — on the full pipeline
+        model and keeps the best, mirroring how the real system would
+        re-profile around the analytic answer.
         """
         l_h = self.closed_form_l_h(profile)
-        candidates = {max(0, min(self.n_layers, l)) for l in (l_h - 1, l_h, l_h + 1)}
+        candidates = {
+            max(0, min(self.n_layers, l))
+            for l in (l_h - 1, l_h, l_h + 1, 0, self.n_layers)
+        }
         best_scheme: PartitionScheme | None = None
         best_makespan = math.inf
         for candidate in sorted(candidates):

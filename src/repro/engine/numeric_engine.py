@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.hcache import HCacheEngine
 from repro.errors import ConfigError, StateError
+from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
 from repro.models.transformer import Transformer
 
@@ -81,9 +82,14 @@ class NumericServingEngine:
         if n_output_tokens <= 0:
             raise ConfigError("output length must be positive")
 
+        # The round's final length is known up front: restore into (or
+        # reserve) a cache sized for the whole round and one shared capture
+        # buffer, so the per-token appends and hidden-state writes below
+        # never allocate or recopy history.
+        round_tokens = len(state.tokens) + prompt_tokens.size + n_output_tokens
         if not state.on_gpu:
             if state.tokens:
-                state.kv_cache = self.hcache.restore(session_id)
+                state.kv_cache = self.hcache.restore(session_id, reserve_tokens=round_tokens)
             else:
                 state.kv_cache = KVCache(self.transformer.config)
         cache = state.kv_cache
@@ -93,8 +99,13 @@ class NumericServingEngine:
                 f"session {session_id!r}: cache holds {len(cache)} tokens, "
                 f"log has {len(state.tokens)}"
             )
+        cache.reserve(round_tokens)
+        capture = HiddenCapture(
+            self.transformer.config.n_layers, self.transformer.config.hidden_size
+        )
+        capture.reserve(prompt_tokens.size + n_output_tokens)
 
-        result = self.transformer.forward(prompt_tokens, cache, capture_hidden=True)
+        result = self.transformer.forward(prompt_tokens, cache, capture=capture)
         assert result.hidden_states is not None
         self.hcache.save_states(session_id, result.hidden_states, prompt_tokens, kv_cache=cache)
         state.tokens.extend(int(t) for t in prompt_tokens)
@@ -104,7 +115,7 @@ class NumericServingEngine:
         for _ in range(n_output_tokens):
             token = int(np.argmax(logits))
             generated.append(token)
-            step = self.transformer.decode_step(token, cache, capture_hidden=True)
+            step = self.transformer.forward(np.array([token]), cache, capture=capture)
             assert step.hidden_states is not None
             self.hcache.save_states(
                 session_id, step.hidden_states, np.array([token]), kv_cache=cache

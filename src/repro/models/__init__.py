@@ -2,6 +2,7 @@
 numpy implementation used to validate HCache's lossless restoration."""
 
 from repro.models.config import FP16_BYTES, MODELS, ModelConfig, model_preset
+from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
 from repro.models.sampler import greedy, sample_temperature, sample_top_k
 from repro.models.transformer import ForwardResult, Transformer
@@ -11,6 +12,7 @@ __all__ = [
     "FP16_BYTES",
     "MODELS",
     "ForwardResult",
+    "HiddenCapture",
     "KVCache",
     "LayerWeights",
     "ModelConfig",

@@ -62,6 +62,20 @@ def scaled_dot_product_attention(
     if keys.shape[1] != n_heads:
         raise ConfigError(f"key heads {keys.shape[1]} mismatch query heads {n_heads}")
     scale = 1.0 / np.sqrt(head_dim)
+    if n_q == 1 and query_offset == n_k - 1:
+        # Decode fast path: the single query may attend to every cached
+        # position, so no mask is needed, and head-major BLAS matmuls over
+        # transposed views replace the einsum contraction.  Strided batch
+        # slices map directly onto BLAS leading dimensions, so this reads
+        # the token-major cache without any transposition copy.
+        q0 = queries[0]  # (heads, head_dim)
+        scores = np.matmul(keys.transpose(1, 0, 2), q0[:, :, None])[:, :, 0]
+        scores *= scale  # (heads, n_k)
+        shifted = scores - np.max(scores, axis=-1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        probs = shifted / np.sum(shifted, axis=-1, keepdims=True)
+        out = np.matmul(probs[:, None, :], values.transpose(1, 0, 2))
+        return out.transpose(1, 0, 2).astype(np.float32)
     # (heads, n_q, n_k)
     scores = np.einsum("qhd,khd->hqk", queries, keys) * scale
     mask = causal_mask(n_q, n_k, query_offset)[None, :, :]

@@ -1,0 +1,17 @@
+"""Shared amortized-doubling growth policy for state buffers.
+
+Both the KV cache and the hidden-state capture grow their backing
+buffers with the same policy; keeping it here means a future tuning of
+the doubling factor or minimum allocation applies to every buffer at
+once.
+"""
+
+from __future__ import annotations
+
+#: Smallest non-zero token capacity allocated by the doubling policy.
+MIN_CAPACITY = 16
+
+
+def grown_capacity(current: int, required: int) -> int:
+    """Next capacity: at least ``required``, at least double ``current``."""
+    return max(required, 2 * current, MIN_CAPACITY)

@@ -1,10 +1,27 @@
-"""Per-layer KV cache with exact content semantics.
+"""Per-layer KV cache with exact content semantics and O(1) appends.
 
 The cache stores keys and values per layer as ``(n_tokens, n_kv_heads,
 head_dim)`` arrays.  It supports the three ways state enters it in this
 reproduction: normal prefill/decode appends, bulk installation from a
 restoration (HCache projection, KV offload fetch, or prefix recompute),
 and truncation for eviction experiments.
+
+Storage layout: all layers share two 4-D backing buffers of shape
+``(n_layers, capacity, n_kv_heads, head_dim)`` that grow by amortized
+doubling, so ``append`` is an O(block) slice write instead of an
+O(history) ``np.concatenate`` — the difference between O(n) and O(n^2)
+decode over a whole conversation.  ``get`` returns zero-copy views of the
+live prefix; restoration paths can write straight into the backing
+buffers (:meth:`KVCache.install_view`) or donate whole pre-projected
+tensors (:meth:`KVCache.install_all`) without any defensive copy.
+
+View semantics: views returned by :meth:`get` alias the backing buffer.
+An in-capacity ``append`` only writes past the live prefix, so earlier
+views keep their content; an ``append`` that triggers a capacity-growth
+reallocation detaches them to a stale snapshot of the old buffer, and
+``install``/``truncate`` repoint the live region in place.  Callers that
+need a durable, current snapshot across any of those operations must
+copy, exactly as a real serving system snapshots KV pages before reuse.
 """
 
 from __future__ import annotations
@@ -13,6 +30,7 @@ import numpy as np
 
 from repro.errors import ConfigError, StateError
 from repro.models.config import ModelConfig
+from repro.models.growth import grown_capacity
 
 
 class KVCache:
@@ -20,95 +38,271 @@ class KVCache:
 
     def __init__(self, config: ModelConfig) -> None:
         self.config = config
-        shape = (0, config.n_kv_heads, config.head_dim)
-        self._keys = [np.empty(shape, dtype=np.float32) for _ in range(config.n_layers)]
-        self._values = [np.empty(shape, dtype=np.float32) for _ in range(config.n_layers)]
+        self._n_layers = config.n_layers
+        self._row_shape = (config.n_kv_heads, config.head_dim)
+        self._k = np.empty((self._n_layers, 0, *self._row_shape), dtype=np.float32)
+        self._v = np.empty_like(self._k)
+        self._lens = [0] * self._n_layers
+        #: length -> number of layers currently at that length.  Keeping the
+        #: histogram as an invariant makes ``__len__`` (called on every
+        #: forward pass) O(1) while still detecting layer disagreement.
+        self._len_counts: dict[int, int] = {0: self._n_layers}
+
+    # ------------------------------------------------------------------
+    # lengths
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
         """Token count of the sequence (equal across layers)."""
-        lengths = {k.shape[0] for k in self._keys}
-        if len(lengths) != 1:
-            raise StateError(f"layers disagree on cached length: {sorted(lengths)}")
-        return lengths.pop()
+        if len(self._len_counts) != 1:
+            raise StateError(
+                f"layers disagree on cached length: {sorted(self._len_counts)}"
+            )
+        return next(iter(self._len_counts))
 
     def layer_len(self, layer: int) -> int:
-        return self._keys[layer].shape[0]
+        return self._lens[layer]
+
+    @property
+    def capacity(self) -> int:
+        """Allocated token capacity shared by every layer."""
+        return self._k.shape[1]
+
+    def _set_len(self, layer: int, new_len: int) -> None:
+        old = self._lens[layer]
+        if new_len == old:
+            return
+        self._lens[layer] = new_len
+        counts = self._len_counts
+        remaining = counts[old] - 1
+        if remaining:
+            counts[old] = remaining
+        else:
+            del counts[old]
+        counts[new_len] = counts.get(new_len, 0) + 1
+
+    def debug_validate(self) -> None:
+        """Expensive invariant check (tests / debugging only).
+
+        Recomputes the length histogram from scratch and verifies it
+        matches the incrementally maintained one.
+        """
+        recount: dict[int, int] = {}
+        for n in self._lens:
+            recount[n] = recount.get(n, 0) + 1
+        if recount != self._len_counts:
+            raise StateError(
+                f"length histogram {self._len_counts} out of sync with {recount}"
+            )
+        if any(n < 0 or n > self.capacity for n in self._lens):
+            raise StateError(f"layer length out of range: {self._lens}")
+
+    # ------------------------------------------------------------------
+    # capacity management
+    # ------------------------------------------------------------------
+
+    def _ensure_capacity(self, min_capacity: int) -> None:
+        cap = self.capacity
+        if cap >= min_capacity:
+            return
+        new_cap = grown_capacity(cap, min_capacity)
+        new_k = np.empty((self._n_layers, new_cap, *self._row_shape), dtype=np.float32)
+        new_v = np.empty_like(new_k)
+        live = max(self._lens, default=0)
+        if live:
+            new_k[:, :live] = self._k[:, :live]
+            new_v[:, :live] = self._v[:, :live]
+        self._k = new_k
+        self._v = new_v
+
+    def reserve(self, n_tokens: int) -> None:
+        """Preallocate capacity for ``n_tokens`` across every layer.
+
+        Callers that know the final context length (restoration, a chat
+        round with a fixed output budget) use this to skip the doubling
+        reallocations entirely.
+        """
+        if n_tokens < 0:
+            raise ConfigError("cannot reserve a negative capacity")
+        self._ensure_capacity(n_tokens)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
 
     def _check_layer(self, layer: int) -> None:
-        if not 0 <= layer < self.config.n_layers:
+        if not 0 <= layer < self._n_layers:
             raise ConfigError(f"layer {layer} out of range")
 
     def _check_shape(self, tensor: np.ndarray, name: str) -> np.ndarray:
         tensor = np.asarray(tensor, dtype=np.float32)
-        if tensor.ndim != 3 or tensor.shape[1:] != (self.config.n_kv_heads, self.config.head_dim):
+        if tensor.ndim != 3 or tensor.shape[1:] != self._row_shape:
             raise ConfigError(
                 f"{name} must be (n, {self.config.n_kv_heads}, {self.config.head_dim}), "
                 f"got {tensor.shape}"
             )
         return tensor
 
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
     def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
-        """Append newly computed K/V rows for one layer."""
+        """Append newly computed K/V rows for one layer (O(block))."""
         self._check_layer(layer)
         keys = self._check_shape(keys, "keys")
         values = self._check_shape(values, "values")
         if keys.shape[0] != values.shape[0]:
             raise ConfigError("keys and values must cover the same tokens")
-        self._keys[layer] = np.concatenate([self._keys[layer], keys], axis=0)
-        self._values[layer] = np.concatenate([self._values[layer], values], axis=0)
+        n = self._lens[layer]
+        m = keys.shape[0]
+        self._ensure_capacity(n + m)
+        self._k[layer, n : n + m] = keys
+        self._v[layer, n : n + m] = values
+        self._set_len(layer, n + m)
 
     def install(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
-        """Replace one layer's content wholesale (restoration path)."""
+        """Replace one layer's content wholesale (restoration path).
+
+        Writes into the preallocated backing buffer — no fresh defensive
+        copy is allocated per layer.
+        """
         self._check_layer(layer)
         keys = self._check_shape(keys, "keys")
         values = self._check_shape(values, "values")
         if keys.shape[0] != values.shape[0]:
             raise ConfigError("keys and values must cover the same tokens")
-        self._keys[layer] = np.array(keys, copy=True)
-        self._values[layer] = np.array(values, copy=True)
+        n = keys.shape[0]
+        self._ensure_capacity(n)
+        self._k[layer, :n] = keys
+        self._v[layer, :n] = values
+        self._set_len(layer, n)
+
+    def install_view(self, layer: int, n_tokens: int) -> tuple[np.ndarray, np.ndarray]:
+        """Size one layer to ``n_tokens`` and return writable K/V views.
+
+        The restoration hot path uses this to project straight into cache
+        storage; the previous content of the layer is undefined until the
+        caller fills the views.
+        """
+        self._check_layer(layer)
+        if n_tokens < 0:
+            raise ConfigError("cannot install a negative token count")
+        self._ensure_capacity(n_tokens)
+        self._set_len(layer, n_tokens)
+        return self._k[layer, :n_tokens], self._v[layer, :n_tokens]
+
+    def install_all(self, keys_all: np.ndarray, values_all: np.ndarray) -> None:
+        """Adopt pre-projected K/V for every layer at once, zero-copy.
+
+        ``keys_all``/``values_all`` have shape ``(n_layers, n, n_kv_heads,
+        head_dim)``.  Fresh C-contiguous float32 arrays (what the batched
+        restoration GEMM produces) become the backing buffers directly;
+        anything else is copied once.  The caller must not mutate donated
+        arrays afterwards.
+        """
+        keys_all = np.asarray(keys_all, dtype=np.float32)
+        values_all = np.asarray(values_all, dtype=np.float32)
+        expected_tail = (self._n_layers, *self._row_shape)
+        for name, arr in (("keys", keys_all), ("values", values_all)):
+            if arr.ndim != 4 or (arr.shape[0], *arr.shape[2:]) != expected_tail:
+                raise ConfigError(
+                    f"{name} must be ({self._n_layers}, n, {self._row_shape[0]}, "
+                    f"{self._row_shape[1]}), got {arr.shape}"
+                )
+        if keys_all.shape[1] != values_all.shape[1]:
+            raise ConfigError("keys and values must cover the same tokens")
+        n = keys_all.shape[1]
+        self._k = self._adoptable(keys_all)
+        self._v = self._adoptable(values_all)
+        self._lens = [n] * self._n_layers
+        self._len_counts = {n: self._n_layers}
+
+    @staticmethod
+    def _adoptable(arr: np.ndarray) -> np.ndarray:
+        if arr.flags["C_CONTIGUOUS"] and arr.flags["OWNDATA"]:
+            return arr
+        return np.ascontiguousarray(arr)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
 
     def get(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(keys, values)`` views for one layer."""
+        """Return ``(keys, values)`` zero-copy views for one layer."""
         self._check_layer(layer)
-        return self._keys[layer], self._values[layer]
+        n = self._lens[layer]
+        return self._k[layer, :n], self._v[layer, :n]
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
 
     def truncate(self, n_tokens: int) -> None:
-        """Drop cached state beyond ``n_tokens`` on every layer."""
+        """Drop cached state beyond ``n_tokens`` on every layer.
+
+        Capacity is retained; only the live lengths shrink (O(layers)).
+        """
         if n_tokens < 0:
             raise ConfigError("cannot truncate to a negative length")
-        for layer in range(self.config.n_layers):
-            self._keys[layer] = self._keys[layer][:n_tokens]
-            self._values[layer] = self._values[layer][:n_tokens]
+        for layer in range(self._n_layers):
+            if self._lens[layer] > n_tokens:
+                self._set_len(layer, n_tokens)
 
     def clear(self) -> None:
         """Evict everything (state moves to host storage in HCache)."""
         self.truncate(0)
 
+    # ------------------------------------------------------------------
+    # packed (on-storage) format
+    # ------------------------------------------------------------------
+
+    def packed_rows(self, layer: int, start: int, stop: int) -> np.ndarray:
+        """K and V of rows ``[start, stop)`` concatenated per token.
+
+        Shape ``(stop - start, 2 * kv_size)`` — K elements then V
+        elements, flattened per token.  Packing only the requested rows
+        keeps incremental saving O(block) instead of O(history).
+        """
+        keys, values = self.get(layer)
+        if not 0 <= start <= stop <= keys.shape[0]:
+            raise ConfigError(
+                f"rows [{start}, {stop}) out of range for {keys.shape[0]} cached tokens"
+            )
+        n = stop - start
+        kv_size = self.config.kv_size
+        out = np.empty((n, 2 * kv_size), dtype=np.float32)
+        out[:, :kv_size] = keys[start:stop].reshape(n, kv_size)
+        out[:, kv_size:] = values[start:stop].reshape(n, kv_size)
+        return out
+
     def packed_layer(self, layer: int) -> np.ndarray:
         """One layer's K and V concatenated per token: ``(n, 2 * kv_size)``.
 
-        This is the on-storage format for KV-offloaded layers: K rows then
-        V rows, flattened per token.
+        This is the on-storage format for KV-offloaded layers.
         """
-        keys, values = self.get(layer)
-        n = keys.shape[0]
-        flat_k = keys.reshape(n, -1)
-        flat_v = values.reshape(n, -1)
-        return np.concatenate([flat_k, flat_v], axis=1)
+        return self.packed_rows(layer, 0, self._lens[layer])
 
     def install_packed(self, layer: int, packed: np.ndarray) -> None:
-        """Inverse of :meth:`packed_layer`."""
+        """Inverse of :meth:`packed_layer`, writing directly into storage."""
+        self._check_layer(layer)
         packed = np.asarray(packed, dtype=np.float32)
         kv_size = self.config.kv_size
         if packed.ndim != 2 or packed.shape[1] != 2 * kv_size:
             raise ConfigError(f"packed KV must be (n, {2 * kv_size}), got {packed.shape}")
         n = packed.shape[0]
-        shape = (n, self.config.n_kv_heads, self.config.head_dim)
-        self.install(layer, packed[:, :kv_size].reshape(shape), packed[:, kv_size:].reshape(shape))
+        k_view, v_view = self.install_view(layer, n)
+        k_view.reshape(n, kv_size)[...] = packed[:, :kv_size]
+        v_view.reshape(n, kv_size)[...] = packed[:, kv_size:]
+
+    # ------------------------------------------------------------------
+    # accounting / comparison
+    # ------------------------------------------------------------------
 
     def nbytes(self) -> int:
-        """Total cached bytes across layers (at the array dtype width)."""
-        return sum(k.nbytes + v.nbytes for k, v in zip(self._keys, self._values))
+        """Total live cached bytes across layers (at the array dtype width)."""
+        row_bytes = self._k.itemsize * self._row_shape[0] * self._row_shape[1]
+        return 2 * row_bytes * sum(self._lens)
 
     def equals(self, other: "KVCache", atol: float = 0.0) -> bool:
         """Exact (default) or tolerant comparison with another cache."""

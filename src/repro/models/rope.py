@@ -29,6 +29,43 @@ def rope_angles(positions: np.ndarray, head_dim: int, base: float = 10000.0) -> 
     return positions[:, None] * rope_frequencies(head_dim, base)[None, :]
 
 
+def rope_cos_sin(
+    positions: np.ndarray, head_dim: int, base: float = 10000.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precomputed rotation terms, each ``(n_tokens, 1, head_dim // 2)``.
+
+    The restoration hot path rotates every layer's keys with the same
+    positions; computing cos/sin once amortizes the trigonometry across
+    layers.
+    """
+    angles = rope_angles(positions, head_dim, base)
+    return np.cos(angles)[:, None, :], np.sin(angles)[:, None, :]
+
+
+def rope_rotate_into(
+    x: np.ndarray, cos: np.ndarray, sin: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Rotate ``x`` by precomputed cos/sin terms, writing into ``out``.
+
+    Bit-identical to :func:`apply_rope` (the per-element arithmetic is the
+    same) but with no concatenate and no fresh allocation — the
+    restoration pipeline rotates projected keys straight into the KV
+    cache's backing storage.  ``out`` must not alias ``x``.
+    """
+    if x.shape != out.shape:
+        raise ConfigError(f"out shape {out.shape} mismatches input {x.shape}")
+    if np.may_share_memory(x, out):
+        raise ConfigError("rope_rotate_into requires out not to alias the input")
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    r1, r2 = out[..., :half], out[..., half:]
+    np.multiply(x1, cos, out=r1)
+    r1 -= x2 * sin
+    np.multiply(x1, sin, out=r2)
+    r2 += x2 * cos
+    return out
+
+
 def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
     """Rotate query/key vectors by their position-dependent angles.
 
@@ -49,9 +86,7 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> n
         raise ConfigError(
             f"positions shape {positions.shape} mismatches token count {n_tokens}"
         )
-    angles = rope_angles(positions, head_dim, base)  # (n, hd/2)
-    cos = np.cos(angles)[:, None, :]  # (n, 1, hd/2)
-    sin = np.sin(angles)[:, None, :]
+    cos, sin = rope_cos_sin(positions, head_dim, base)  # each (n, 1, hd/2)
     half = head_dim // 2
     x1, x2 = x[..., :half], x[..., half:]
     rotated = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)

@@ -12,6 +12,12 @@ where ``H_L`` is the residual-stream input of layer ``L``.  Because the
 projection replays the very computation the forward pass performed, the
 restored KV cache matches the original exactly — the losslessness property
 the test suite asserts.
+
+Hot-path layout: capture accumulates into a :class:`HiddenCapture`
+doubling buffer (O(1) per decode step instead of an O(history)
+concatenate), and restoration projects **all layers at once** through a
+batched norm + GEMM pipeline whose outputs are donated to the KV cache
+without a copy (:meth:`Transformer.project_kv_all`).
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ from repro.models.attention import (
     merge_heads,
     repeat_kv,
     scaled_dot_product_attention,
+    split_heads,
 )
 from repro.models.config import ModelConfig
 from repro.models.ffn import ffn_forward
+from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
-from repro.models.rope import apply_rope
+from repro.models.rope import apply_rope, rope_cos_sin, rope_rotate_into
 from repro.models.tensor_ops import layernorm, rmsnorm
 from repro.models.weights import LayerWeights, ModelWeights, init_weights
 
@@ -43,7 +51,9 @@ class ForwardResult:
         logits: ``(n_tokens, vocab)`` next-token logits.
         hidden_states: When captured, one ``(n_tokens, hidden)`` array per
             layer holding the residual-stream input of that layer — the
-            state HCache saves.  ``None`` otherwise.
+            state HCache saves.  Views into the capture buffer when a
+            :class:`HiddenCapture` accumulates across calls; ``None`` when
+            not capturing.
     """
 
     logits: np.ndarray
@@ -60,6 +70,8 @@ class Transformer:
             )
         self.config = config
         self.weights = weights
+        #: Lazily built (norm, W_k, W_v) stacks for the batched projection.
+        self._projection_stack_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_seed(cls, config: ModelConfig, seed: int = 0) -> "Transformer":
@@ -106,13 +118,148 @@ class Transformer:
         """
         w = self.weights.layers[layer]
         normed = self._norm(np.asarray(hidden, dtype=np.float32), w.attn_norm)
-        from repro.models.attention import split_heads  # local to avoid cycle noise
-
         k = split_heads(normed @ w.wk, self.config.n_kv_heads)
         v = split_heads(normed @ w.wv, self.config.n_kv_heads)
         if self.config.rope:
             k = apply_rope(k, positions)
         return k, v
+
+    def _projection_stack(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked per-layer ``(attn_norm, W_k, W_v)`` for batched restores."""
+        if self._projection_stack_cache is None:
+            layers = self.weights.layers
+            norm_w = np.stack([w.attn_norm for w in layers])[:, None, :]
+            wk_all = np.stack([w.wk for w in layers])
+            wv_all = np.stack([w.wv for w in layers])
+            self._projection_stack_cache = (norm_w, wk_all, wv_all)
+        return self._projection_stack_cache
+
+    def project_kv_all(
+        self,
+        hidden_all: np.ndarray | list[np.ndarray],
+        positions: np.ndarray,
+        layers: list[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched restoration operator over many layers at once.
+
+        Args:
+            hidden_all: ``(n_sel, n_tokens, hidden)`` residual inputs, one
+                row-block per selected layer — a stacked array or a list
+                of per-layer ``(n_tokens, hidden)`` arrays (consumed
+                without stacking them first).
+            positions: Absolute positions, shape ``(n_tokens,)``.
+            layers: Layer indices matching ``hidden_all``'s first axis;
+                ``None`` means all layers in order.
+
+        Returns:
+            ``(K, V)`` of shape ``(n_sel, n_tokens, n_kv_heads, head_dim)``
+            — fresh C-contiguous arrays a :class:`KVCache` can adopt
+            without copying.  Every GEMM writes straight into the
+            preallocated output (becoming cache storage via
+            :meth:`KVCache.install_all`), RoPE terms are computed once and
+            shared across layers, and the per-layer op granularity keeps
+            working sets cache-resident — the results are bit-identical to
+            per-layer :meth:`project_kv`.
+        """
+        blocks, sel, n_tokens = self._prepare_projection(hidden_all, layers)
+        row_shape = (n_tokens, self.config.n_kv_heads, self.config.head_dim)
+        k = np.empty((len(blocks), *row_shape), dtype=np.float32)
+        v = np.empty_like(k)
+        self._project_blocks(blocks, sel, positions, lambda i: (k[i], v[i]))
+        return k, v
+
+    def project_kv_into(
+        self,
+        hidden_all: np.ndarray | list[np.ndarray],
+        positions: np.ndarray,
+        cache: KVCache,
+        layers: list[int] | None = None,
+    ) -> None:
+        """Like :meth:`project_kv_all`, but projecting straight into
+        ``cache``'s backing storage via :meth:`KVCache.install_view`.
+
+        The cache keeps whatever capacity it already has (callers reserve
+        slack for upcoming decode appends before restoring), so no
+        adopt-then-grow reallocation ever copies the restored history.
+        """
+        blocks, sel, n_tokens = self._prepare_projection(hidden_all, layers)
+        views = [cache.install_view(layer, n_tokens) for layer in sel]
+        self._project_blocks(blocks, sel, positions, lambda i: views[i])
+
+    def _prepare_projection(
+        self,
+        hidden_all: np.ndarray | list[np.ndarray],
+        layers: list[int] | None,
+    ):
+        """Validate projection inputs and resolve the layer selection."""
+        if isinstance(hidden_all, np.ndarray):
+            hidden_all = np.asarray(hidden_all, dtype=np.float32)
+            if hidden_all.ndim != 3:
+                raise ConfigError(
+                    f"hidden_all must be (layers, n, {self.config.hidden_size}), "
+                    f"got {hidden_all.shape}"
+                )
+            blocks: list[np.ndarray] | np.ndarray = hidden_all
+        else:
+            blocks = [np.asarray(h, dtype=np.float32) for h in hidden_all]
+            for block in blocks:
+                if block.ndim != 2 or block.shape != blocks[0].shape:
+                    raise ConfigError("all layers must cover the same tokens")
+        if len(blocks) == 0 or blocks[0].shape[-1] != self.config.hidden_size:
+            raise ConfigError(
+                f"hidden_all must be (layers, n, {self.config.hidden_size}) blocks"
+            )
+        if layers is not None:
+            if len(layers) != len(blocks):
+                raise ConfigError("layer selection must match hidden_all's first axis")
+            for layer in layers:
+                if not 0 <= layer < self.config.n_layers:
+                    raise ConfigError(f"layer {layer} out of range")
+            sel = list(layers)
+        elif len(blocks) != self.config.n_layers:
+            raise ConfigError(
+                f"need hidden states for all {self.config.n_layers} layers, "
+                f"got {len(blocks)}"
+            )
+        else:
+            sel = list(range(len(blocks)))
+        return blocks, sel, blocks[0].shape[0]
+
+    def _project_blocks(self, blocks, sel, positions, dest) -> None:
+        """Run the shared norm + out= GEMM (+ RoPE) loop.
+
+        ``sel[i]`` is the model layer behind block ``i`` (weights are
+        integer-indexed from the cached stacks — zero-copy views, no
+        per-call fancy-index copies).  ``dest(i)`` returns the writable
+        ``(k, v)`` destination views for block ``i`` — either rows of a
+        fresh array pair (:meth:`project_kv_all`) or cache storage
+        (:meth:`project_kv_into`).  Identical arithmetic either way, so
+        both stay bit-exact with per-layer :meth:`project_kv`.
+        """
+        norm_w, wk_all, wv_all = self._projection_stack()
+        n_tokens = blocks[0].shape[0]
+        kv_size = self.config.kv_size
+        rope = self.config.rope
+        if rope:
+            positions = np.asarray(positions)
+            if positions.shape != (n_tokens,):
+                raise ConfigError(
+                    f"positions shape {positions.shape} mismatches token count {n_tokens}"
+                )
+            cos, sin = rope_cos_sin(positions, self.config.head_dim)
+            k_tmp = np.empty(
+                (n_tokens, self.config.n_kv_heads, self.config.head_dim),
+                dtype=np.float32,
+            )
+        for i, layer in enumerate(sel):
+            k_dest, v_dest = dest(i)
+            normed = self._norm(blocks[i], norm_w[layer, 0])
+            if rope:
+                np.matmul(normed, wk_all[layer], out=k_tmp.reshape(n_tokens, kv_size))
+                rope_rotate_into(k_tmp, cos, sin, out=k_dest)
+            else:
+                np.matmul(normed, wk_all[layer], out=k_dest.reshape(n_tokens, kv_size))
+            np.matmul(normed, wv_all[layer], out=v_dest.reshape(n_tokens, kv_size))
 
     def layer_forward(
         self,
@@ -154,11 +301,18 @@ class Transformer:
         tokens: np.ndarray,
         kv_cache: KVCache,
         capture_hidden: bool = False,
+        capture: HiddenCapture | None = None,
     ) -> ForwardResult:
         """Process a block of new tokens on top of the cached history.
 
         The block's absolute positions continue the cache: token ``i`` of
         the block sits at position ``len(kv_cache) + i``.
+
+        When ``capture`` is given, the block's per-layer hidden states are
+        written into it with O(block) slice writes and the returned
+        ``hidden_states`` are views of that buffer — the accumulation path
+        ``generate`` uses to stay O(n) over a whole generation.  Plain
+        ``capture_hidden=True`` allocates a block-sized buffer internally.
         """
         tokens = np.asarray(tokens)
         start = len(kv_cache)
@@ -168,13 +322,21 @@ class Transformer:
             )
         positions = np.arange(start, start + tokens.size)
         hidden = self.embed(tokens)
-        captured: list[np.ndarray] | None = [] if capture_hidden else None
+        if capture is None and capture_hidden:
+            capture = HiddenCapture(self.config.n_layers, self.config.hidden_size)
+            capture.reserve(tokens.size)
+        block_start = capture.extend(tokens.size) if capture is not None else 0
         for layer in range(self.config.n_layers):
-            if captured is not None:
-                captured.append(np.array(hidden, copy=True))
+            if capture is not None:
+                capture.write(layer, block_start, hidden)
             hidden = self.layer_forward(layer, hidden, kv_cache, positions)
         final = self._norm(hidden, self.weights.final_norm)
         logits = final @ self.weights.lm_head
+        captured = (
+            capture.block_views(block_start, block_start + tokens.size)
+            if capture is not None
+            else None
+        )
         return ForwardResult(logits=logits, hidden_states=captured)
 
     def prefill(
@@ -196,27 +358,38 @@ class Transformer:
     # ------------------------------------------------------------------
 
     def restore_cache_from_hidden(
-        self, hidden_states: list[np.ndarray], positions: np.ndarray | None = None
+        self,
+        hidden_states: list[np.ndarray] | np.ndarray | HiddenCapture,
+        positions: np.ndarray | None = None,
     ) -> KVCache:
         """Rebuild a full KV cache from per-layer hidden states.
 
         ``hidden_states[L]`` must be the ``(n, hidden)`` residual input of
         layer ``L`` for the whole history (what ``capture_hidden`` returns
-        and what the storage manager persists).
+        and what the storage manager persists); a :class:`HiddenCapture`
+        or a pre-stacked ``(n_layers, n, hidden)`` array is used as-is.
+        All layers are projected through one batched norm + GEMM pass and
+        the results are installed into the cache without a copy.
         """
-        if len(hidden_states) != self.config.n_layers:
+        if isinstance(hidden_states, HiddenCapture):
+            blocks: np.ndarray | list[np.ndarray] = hidden_states.stacked()
+            n_layers, n = blocks.shape[:2]
+        elif isinstance(hidden_states, np.ndarray) and hidden_states.ndim == 3:
+            blocks = hidden_states
+            n_layers, n = blocks.shape[:2]
+        else:
+            blocks = list(hidden_states)
+            n_layers = len(blocks)
+            n = blocks[0].shape[0] if blocks else 0
+        if n_layers != self.config.n_layers:
             raise ConfigError(
                 f"need hidden states for all {self.config.n_layers} layers, "
-                f"got {len(hidden_states)}"
+                f"got {n_layers}"
             )
-        n = hidden_states[0].shape[0]
         pos = np.arange(n) if positions is None else np.asarray(positions)
+        k, v = self.project_kv_all(blocks, pos)
         cache = KVCache(self.config)
-        for layer, hidden in enumerate(hidden_states):
-            if hidden.shape[0] != n:
-                raise ConfigError("all layers must cover the same tokens")
-            k, v = self.project_kv(layer, hidden, pos)
-            cache.install(layer, k, v)
+        cache.install_all(k, v)
         return cache
 
     def recompute_prefix(
@@ -234,6 +407,7 @@ class Transformer:
         tokens = np.asarray(tokens)
         positions = np.arange(tokens.size)
         cache = KVCache(self.config)
+        cache.reserve(tokens.size)
         hidden = self.embed(tokens)
         for layer in range(n_prefix_layers):
             hidden = self.layer_forward(layer, hidden, cache, positions)
@@ -250,23 +424,23 @@ class Transformer:
 
         Returns the generated token ids, the final cache, and — when
         capturing — per-layer hidden states covering prompt plus generated
-        tokens in position order.
+        tokens in position order (zero-copy views of one capture buffer).
+        Both the cache and the capture are preallocated for the final
+        length, so each decode step costs O(1) state management.
         """
+        prompt = np.asarray(prompt)
         cache = kv_cache if kv_cache is not None else KVCache(self.config)
-        captured: list[np.ndarray] | None = None
-        result = self.forward(np.asarray(prompt), cache, capture_hidden=capture_hidden)
-        if capture_hidden and result.hidden_states is not None:
-            captured = [np.array(h, copy=True) for h in result.hidden_states]
+        cache.reserve(len(cache) + prompt.size + n_new_tokens)
+        capture: HiddenCapture | None = None
+        if capture_hidden:
+            capture = HiddenCapture(self.config.n_layers, self.config.hidden_size)
+            capture.reserve(prompt.size + n_new_tokens)
+        result = self.forward(prompt, cache, capture=capture)
         tokens: list[int] = []
         logits = result.logits[-1]
         for _ in range(n_new_tokens):
             token = int(np.argmax(logits))
             tokens.append(token)
-            step = self.decode_step(token, cache, capture_hidden=capture_hidden)
-            if captured is not None and step.hidden_states is not None:
-                for layer in range(self.config.n_layers):
-                    captured[layer] = np.concatenate(
-                        [captured[layer], step.hidden_states[layer]], axis=0
-                    )
+            step = self.forward(np.array([token]), cache, capture=capture)
             logits = step.logits[-1]
-        return tokens, cache, captured
+        return tokens, cache, capture.views() if capture is not None else None

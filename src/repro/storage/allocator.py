@@ -135,6 +135,10 @@ class ChunkAllocator:
         )
         return new_keys
 
+    def has_context_runs(self, context_id: str) -> bool:
+        """Whether any run (any layer, any kind) exists for a context."""
+        return any(k[0] == context_id for k in self._runs)
+
     def free_context(self, context_id: str) -> int:
         """Release every run of a context, returning the bytes freed."""
         keys = [k for k in self._runs if k[0] == context_id]

@@ -106,6 +106,27 @@ class StorageDevice:
         self._reads += 1
         return np.array(payload, copy=True), IOReceipt(int(payload.nbytes), seconds)
 
+    def read_into(self, key: Hashable, out: np.ndarray) -> IOReceipt:
+        """Copy the stored payload directly into ``out`` (no intermediate).
+
+        The restoration path preallocates one ``(n_tokens, width)`` layer
+        destination and reads every chunk straight into its row slice —
+        the functional analogue of a DMA into a pinned staging buffer.
+        """
+        if key not in self._data:
+            raise StateError(f"{self.name}: key {key!r} not present")
+        payload = self._data[key]
+        if payload.shape != out.shape:
+            raise StateError(
+                f"{self.name}: destination shape {out.shape} mismatches "
+                f"stored chunk {payload.shape}"
+            )
+        np.copyto(out, payload)
+        seconds = self.spec.read_time(int(payload.nbytes))
+        self._busy_seconds += seconds
+        self._reads += 1
+        return IOReceipt(int(payload.nbytes), seconds)
+
     def delete(self, key: Hashable) -> int:
         """Drop a payload, returning the bytes freed."""
         if key not in self._data:

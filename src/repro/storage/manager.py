@@ -24,6 +24,21 @@ from repro.storage.array import LayerReadTiming, StorageArray
 from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
 
 
+class _TailBuffer:
+    """Preallocated staging buffer for one run's partially filled chunk.
+
+    Exactly one chunk worth of rows, written by slice assignment — the
+    hot saving path never builds Python lists of per-row copies nor calls
+    ``np.stack`` to flush.
+    """
+
+    __slots__ = ("data", "n")
+
+    def __init__(self, tokens_per_chunk: int, width: int, dtype: np.dtype) -> None:
+        self.data = np.empty((tokens_per_chunk, width), dtype=dtype)
+        self.n = 0
+
+
 @dataclass(frozen=True)
 class ContextMeta:
     """Shape information for one stored context.
@@ -61,8 +76,8 @@ class StorageManager:
         self.tokens_per_chunk = tokens_per_chunk
         self.allocator = ChunkAllocator(total_capacity)
         self._meta: dict[str, ContextMeta] = {}
-        #: Host-side partially filled tail chunks: run key -> list of token rows.
-        self._tails: dict[tuple[str, int, str], list[np.ndarray]] = {}
+        #: Host-side partially filled tail chunks: run key -> staging buffer.
+        self._tails: dict[tuple[str, int, str], _TailBuffer] = {}
         #: Runs whose tail is also persisted on a device as a partial chunk
         #: (written by seal_context; rewritten when the chunk later fills).
         self._sealed_partial: set[tuple[str, int, str]] = set()
@@ -102,9 +117,16 @@ class StorageManager:
         return self._meta[context_id]
 
     def free_context(self, context_id: str) -> int:
-        """Drop a context's state everywhere, returning bytes freed."""
+        """Drop a context's state everywhere, returning bytes freed.
+
+        A registered context may own no runs at all — a pure-recompute
+        partition never stores state, and sessions can close before their
+        first save — so freeing is a no-op for the allocator in that case.
+        """
         meta = self.meta(context_id)
-        freed = self.allocator.free_context(context_id)
+        freed = 0
+        if self.allocator.has_context_runs(context_id):
+            freed = self.allocator.free_context(context_id)
         for key in [k for k in self._tails if k[0] == context_id]:
             del self._tails[key]
             self._sealed_partial.discard(key)
@@ -151,34 +173,47 @@ class StorageManager:
         run_key = (context_id, layer, kind)
         if not self.allocator.has_run(context_id, layer, kind):
             self.allocator.open_run(context_id, layer, kind, self._layout(meta, kind))
-            self._tails[run_key] = []
+            self._tails[run_key] = _TailBuffer(
+                self.tokens_per_chunk, self._width(meta, kind), meta.dtype
+            )
+        tail = self._tails[run_key]
+        run = self.allocator.run(context_id, layer, kind)
+        flushed_tokens = run.n_tokens - tail.n
         if run_key in self._sealed_partial:
             # The tail chunk was persisted at the last seal; it grows now,
             # so retire the stale partial copy (the host buffer still holds
             # the rows) and rewrite it once it fills or is sealed again.
-            run = self.allocator.run(context_id, layer, kind)
-            tail_len = len(self._tails[run_key])
-            partial_index = (run.n_tokens - tail_len) // self.tokens_per_chunk
+            partial_index = flushed_tokens // self.tokens_per_chunk
             key = ChunkKey(context_id, layer, partial_index, kind)
             self.array.device_for(partial_index, offset=layer).delete(key)
             self._sealed_partial.discard(run_key)
         self.allocator.extend(context_id, layer, kind, states.shape[0])
-        tail = self._tails[run_key]
-        tail.extend(np.array(row, copy=True) for row in states)
-        self._flush_full_chunks(context_id, layer, kind)
+        # Stream the block through: aligned full chunks flush as slice
+        # views of the input (the device snapshots them); the remainder
+        # lands in the preallocated tail by slice assignment.
+        cpc = self.tokens_per_chunk
 
-    def _flush_full_chunks(self, context_id: str, layer: int, kind: str) -> None:
-        run = self.allocator.run(context_id, layer, kind)
-        run_key = (context_id, layer, kind)
-        tail = self._tails[run_key]
-        flushed_tokens = run.n_tokens - len(tail)
-        while len(tail) >= self.tokens_per_chunk:
-            chunk_rows = tail[: self.tokens_per_chunk]
-            del tail[: self.tokens_per_chunk]
-            chunk_index = flushed_tokens // self.tokens_per_chunk
+        def flush_chunk(payload: np.ndarray) -> None:
+            nonlocal flushed_tokens
+            chunk_index = flushed_tokens // cpc
             key = ChunkKey(context_id, layer, chunk_index, kind)
-            self.array.device_for(chunk_index, offset=layer).write(key, np.stack(chunk_rows))
-            flushed_tokens += self.tokens_per_chunk
+            self.array.device_for(chunk_index, offset=layer).write(key, payload)
+            flushed_tokens += cpc
+
+        pos = 0
+        n_new = states.shape[0]
+        while pos < n_new:
+            if tail.n == 0 and n_new - pos >= cpc:
+                flush_chunk(states[pos : pos + cpc])
+                pos += cpc
+                continue
+            take = min(cpc - tail.n, n_new - pos)
+            tail.data[tail.n : tail.n + take] = states[pos : pos + take]
+            tail.n += take
+            pos += take
+            if tail.n == cpc:
+                flush_chunk(tail.data)
+                tail.n = 0
 
     def seal_context(self, context_id: str) -> None:
         """Flush every partially filled tail chunk to its device.
@@ -195,15 +230,15 @@ class StorageManager:
             if ctx != context_id:
                 continue
             tail = self._tails[run_key]
-            if not tail or run_key in self._sealed_partial:
+            if tail.n == 0 or run_key in self._sealed_partial:
                 continue
             run = self.allocator.run(ctx, layer, kind)
-            flushed_tokens = run.n_tokens - len(tail)
+            flushed_tokens = run.n_tokens - tail.n
             if flushed_tokens % self.tokens_per_chunk != 0:
                 raise StateError("tail must start at a chunk boundary")
             chunk_index = flushed_tokens // self.tokens_per_chunk
             key = ChunkKey(ctx, layer, chunk_index, kind)
-            self.array.device_for(chunk_index, offset=layer).write(key, np.stack(tail))
+            self.array.device_for(chunk_index, offset=layer).write(key, tail.data[: tail.n])
             self._sealed_partial.add(run_key)
 
     # ------------------------------------------------------------------
@@ -216,28 +251,44 @@ class StorageManager:
             return 0
         return self.allocator.run(context_id, layer, kind).n_tokens
 
-    def load_layer(self, context_id: str, layer: int, kind: str = "hidden") -> np.ndarray:
+    def load_layer(
+        self,
+        context_id: str,
+        layer: int,
+        kind: str = "hidden",
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Fetch one layer's full token run as a ``(n_tokens, width)`` array.
 
-        Reads every device-resident chunk (round-robin across the array)
-        and appends any host-buffered tail rows.
+        Preallocates the destination (or fills a caller-provided ``out``,
+        e.g. one row-block of the batched restoration input) and reads
+        every device-resident chunk directly into its row slice, then
+        copies any host-buffered tail rows — no intermediate part list,
+        no ``np.concatenate``.
         """
         meta = self.meta(context_id)
         run = self.allocator.run(context_id, layer, kind)
         tail = self._tails[(context_id, layer, kind)]
-        flushed_tokens = run.n_tokens - len(tail)
-        n_full = flushed_tokens // self.tokens_per_chunk
-        leftover = flushed_tokens - n_full * self.tokens_per_chunk
-        parts: list[np.ndarray] = []
-        for chunk_index in range(n_full + (1 if leftover else 0)):
+        n_tokens = run.n_tokens
+        width = self._width(meta, kind)
+        if out is None:
+            out = np.empty((n_tokens, width), dtype=meta.dtype)
+        elif out.shape != (n_tokens, width) or out.dtype != meta.dtype:
+            raise ConfigError(
+                f"out must be {(n_tokens, width)} of {meta.dtype}, "
+                f"got {out.shape} of {out.dtype}"
+            )
+        flushed_tokens = n_tokens - tail.n
+        cpc = self.tokens_per_chunk
+        for chunk_index in range(flushed_tokens // cpc):
             key = ChunkKey(context_id, layer, chunk_index, kind)
-            payload, _ = self.array.device_for(chunk_index, offset=layer).read(key)
-            parts.append(payload)
-        if tail:
-            parts.append(np.stack(tail))
-        if not parts:
-            return np.empty((0, self._width(meta, kind)), dtype=meta.dtype)
-        return np.concatenate(parts, axis=0)
+            start = chunk_index * cpc
+            self.array.device_for(chunk_index, offset=layer).read_into(
+                key, out[start : start + cpc]
+            )
+        if tail.n:
+            out[flushed_tokens:] = tail.data[: tail.n]
+        return out
 
     def layer_read_timing(
         self, context_id: str, layer: int, kind: str = "hidden"

@@ -88,6 +88,58 @@ class TestSaveLoadRoundtrip:
             manager.allocator.run("ctx", 1, "hidden")
 
 
+class TestHotPathBuffers:
+    def test_single_row_appends_roundtrip(self, manager):
+        """The decode saving pattern: one row per append, O(1) each."""
+        blocks = [rows(1, 32, seed=i) for i in range(130)]
+        for block in blocks:
+            manager.append("ctx", 0, block)
+        out = manager.load_layer("ctx", 0)
+        assert np.array_equal(out, np.concatenate(blocks, axis=0))
+
+    def test_large_block_bypasses_staging(self, manager):
+        """Aligned full chunks flush straight from the input block."""
+        data = rows(64 * 5 + 3, 32, seed=3)
+        manager.append("ctx", 0, data)
+        assert np.array_equal(manager.load_layer("ctx", 0), data)
+        assert manager.array.total_used_bytes == 5 * 64 * 32 * 4
+
+    def test_unaligned_then_aligned_blocks(self, manager):
+        blocks = [rows(n, 32, seed=n) for n in (10, 64, 64 * 2 + 5, 49, 64)]
+        for block in blocks:
+            manager.append("ctx", 2, block)
+        out = manager.load_layer("ctx", 2)
+        assert np.array_equal(out, np.concatenate(blocks, axis=0))
+
+    def test_load_layer_into_preallocated_out(self, manager):
+        data = rows(100, 32, seed=4)
+        manager.append("ctx", 0, data)
+        dest = np.empty((100, 32), dtype=np.float32)
+        returned = manager.load_layer("ctx", 0, out=dest)
+        assert returned is dest
+        assert np.array_equal(dest, data)
+
+    def test_load_layer_bad_out_rejected(self, manager):
+        manager.append("ctx", 0, rows(10, 32))
+        with pytest.raises(ConfigError):
+            manager.load_layer("ctx", 0, out=np.empty((9, 32), dtype=np.float32))
+        with pytest.raises(ConfigError):
+            manager.load_layer("ctx", 0, out=np.empty((10, 32), dtype=np.float64))
+
+    def test_seal_single_row_growth_reseal(self, manager):
+        """Partial tail chunks grow one row at a time across seals."""
+        pieces = []
+        for i in range(70):
+            piece = rows(1, 32, seed=1000 + i)
+            pieces.append(piece)
+            manager.append("ctx", 1, piece)
+            if i % 7 == 0:
+                manager.seal_context("ctx")
+        manager.seal_context("ctx")
+        out = manager.load_layer("ctx", 1)
+        assert np.array_equal(out, np.concatenate(pieces, axis=0))
+
+
 class TestSealLifecycle:
     def test_seal_then_load(self, manager):
         data = rows(30, 32)
@@ -141,6 +193,12 @@ class TestFreeContext:
     def test_free_unknown_rejected(self, manager):
         with pytest.raises(StateError):
             manager.free_context("ghost")
+
+    def test_free_context_with_no_runs(self, manager):
+        """Pure-recompute schemes never store state; sessions can also
+        close before their first save — freeing must still work."""
+        assert manager.free_context("ctx") == 0
+        assert not manager.has_context("ctx")
 
 
 class TestAccounting:
