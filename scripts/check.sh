@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Local gate: tier-1 tests plus a hot-path benchmark smoke run.
+# Local gate: bytecode-compile, tier-1 tests, hot-path benchmark smoke.
 #
-# Run this before sending a PR.  The smoke run executes the same code
-# paths as the committed BENCH_hotpath.json (decode-with-capture state
-# path, end-to-end decode, restore with bit-exactness verification) at a
-# reduced size, so hot-path regressions and numerics breakage surface
-# locally before the benchmark numbers drift.
+# Run this before sending a PR.  The compileall pass catches syntax-level
+# breakage in modules no test imports.  The smoke benchmark executes the
+# same code paths as the committed BENCH_hotpath.json (decode-with-capture
+# state path, end-to-end decode, chunk-streamed restore) at a reduced
+# window but still including the 4096-token gate size, so it *asserts*
+# the PR-1 speedup floor (decode-with-capture state path >= 10x naive at
+# 4k tokens) and that the streamed restore stays bit-exact vs the naive
+# reference — hot-path regressions fail here before the numbers drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== bytecode compile =="
+python -m compileall -q src benchmarks
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== hot-path benchmark (smoke) =="
+echo "== hot-path benchmark (smoke gate: bit-exact + >= 10x floor at 4k) =="
 python benchmarks/bench_hotpath.py --smoke
 
 echo "all checks passed"

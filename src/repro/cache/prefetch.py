@@ -21,6 +21,7 @@ from repro.core.scheduler import BubbleFreeScheduler
 from repro.errors import ConfigError
 from repro.models.config import ModelConfig
 from repro.simulator.hardware import Platform
+from repro.storage.streaming import pipelined_makespan
 from repro.storage.tiered import TieredBackend
 
 
@@ -29,14 +30,21 @@ class WarmRestoration:
     """One restoration outcome under the prefetching backend.
 
     Attributes:
-        timing: The pipelined restoration timing.
+        timing: The pipelined restoration timing (layer granularity).
         tier: ``"dram"`` (prefetch hit) or ``"ssd"`` (cold).
         scheme: Partition the scheduler chose for this tier's IO speed.
+        chunk_pipelined_s: Makespan of the same restoration at chunk
+            granularity — per-chunk reads from the tiered backend
+            overlapped with per-chunk projection compute through the
+            same :func:`repro.storage.streaming.pipelined_makespan`
+            timeline the numeric engine's streamed restore reports, so
+            DRAM-warm and SSD reads are costed by identical code.
     """
 
     timing: RestorationTiming
     tier: str
     scheme_description: str
+    chunk_pipelined_s: float = 0.0
 
 
 class PrefetchingHCache:
@@ -91,7 +99,7 @@ class PrefetchingHCache:
         """Restore a context, at DRAM speed when the prefetch landed."""
         if n_tokens <= 0:
             raise ConfigError("n_tokens must be positive")
-        read = self.backend.read(
+        read = self.backend.read_streamed(
             context_id,
             self._context_bytes(n_tokens),
             chunk_bytes=64 * self.config.hidden_bytes_per_token_layer,
@@ -102,8 +110,41 @@ class PrefetchingHCache:
             self.config, self.platform, n_tokens, decision.scheme, profile=profile
         )
         return WarmRestoration(
-            timing=timing, tier=read.tier, scheme_description=decision.scheme.describe()
+            timing=timing,
+            tier=read.tier,
+            scheme_description=decision.scheme.describe(),
+            chunk_pipelined_s=self._chunk_pipeline_s(read.chunk_seconds, profile, decision),
         )
+
+    def _chunk_pipeline_s(
+        self,
+        chunk_seconds: tuple[float, ...],
+        profile: HardwareProfile,
+        decision,
+    ) -> float:
+        """Chunk-granular restoration makespan for this tier.
+
+        Streams the scheme's *actually stored* bytes chunk by chunk and
+        overlaps each chunk's share of the hidden-layer projection with
+        the remaining transfer — the same two-stream timeline the numeric
+        engine's :class:`~repro.core.hcache.RestoreBreakdown` reports.
+        The backend's per-chunk times cover the all-hidden footprint
+        (:meth:`_context_bytes`), so they are rescaled to the partition's
+        stored bytes — hidden layers move ``D`` per token, KV layers
+        ``2D``, recompute layers nothing — keeping this figure consistent
+        with the layer-granular ``timing`` beside it.  A recompute prefix
+        contributes a leading compute item that needs no stored bytes, so
+        it overlaps the stream from the first read.
+        """
+        scheme = decision.scheme
+        n_chunks = len(chunk_seconds)
+        stored_ratio = (scheme.n_hidden + 2 * scheme.n_kv) / self.config.n_layers
+        projection_total = profile.compute_hidden * scheme.n_hidden
+        per_chunk = projection_total / n_chunks if n_chunks else 0.0
+        recompute_total = scheme.n_recompute * profile.compute_token
+        io_times = [0.0] + [s * stored_ratio for s in chunk_seconds]
+        compute_times = [recompute_total] + [per_chunk] * n_chunks
+        return pipelined_makespan(io_times, compute_times)
 
     @property
     def dram_hit_ratio(self) -> float:

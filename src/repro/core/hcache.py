@@ -11,7 +11,8 @@ performance views stay consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,10 +22,53 @@ from repro.core.restoration import RestorationTiming, scheme_timing
 from repro.core.scheduler import BubbleFreeScheduler, ScheduleDecision
 from repro.errors import ConfigError, RestorationError, StateError
 from repro.models.kv_cache import KVCache
-from repro.models.transformer import Transformer
+from repro.models.transformer import ProjectionStats, Transformer
 from repro.simulator.hardware import Platform
 from repro.simulator.pipeline import LayerMethod
 from repro.storage.manager import StorageManager
+from repro.storage.streaming import pipelined_makespan
+
+
+@dataclass
+class RestoreBreakdown:
+    """Per-stage accounting of one chunk-streamed restoration.
+
+    Filled by :meth:`HCacheEngine.restore` when passed in.  Measured
+    fields are wall-clock seconds of this process.  ``modelled_io_s``
+    comes from the storage devices' timing model; the two makespans are
+    **hybrid** figures — modelled device IO overlapped against this
+    run's *measured* per-granule compute — so they show the structure of
+    the §4.1 pipeline (how much the overlap buys on this machine), not a
+    host-independent prediction.  With compute overlapping transfer, the
+    restoration critical path is ``modelled_pipelined_s``, not the
+    serial sum.
+
+    Attributes:
+        n_tokens: Tokens restored.
+        granules: Streamed granules consumed (across layers and kinds).
+        device_reads: Chunk reads issued against storage devices.
+        read_s: Measured wall time inside streamed storage reads.
+        install_s: Measured wall time installing KV-offloaded chunks.
+        recompute_s: Measured wall time replaying a RECOMPUTE prefix.
+        projection: Per-stage (norm / GEMM / RoPE) projection times.
+        modelled_io_s: Modelled device time of all chunk reads.
+        modelled_serial_s: Hybrid makespan of the pre-pipeline shape
+            (modelled reads, then all measured compute, serially).
+        modelled_pipelined_s: Hybrid makespan with each granule's
+            measured compute overlapping the next granule's modelled
+            read — the §4.1 shape.
+    """
+
+    n_tokens: int = 0
+    granules: int = 0
+    device_reads: int = 0
+    read_s: float = 0.0
+    install_s: float = 0.0
+    recompute_s: float = 0.0
+    projection: ProjectionStats = field(default_factory=ProjectionStats)
+    modelled_io_s: float = 0.0
+    modelled_serial_s: float = 0.0
+    modelled_pipelined_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -51,6 +95,7 @@ class HCacheEngine:
         storage: StorageManager,
         platform: Platform | None = None,
         scheme: PartitionScheme | None = None,
+        stream_granule_chunks: int = 4,
     ) -> None:
         """Create an engine.
 
@@ -63,10 +108,16 @@ class HCacheEngine:
                 partition from an offline profile at a reference length.
             scheme: Fixed partition scheme; defaults to pure HCache when
                 neither a scheme nor a platform is supplied.
+            stream_granule_chunks: Storage chunks coalesced into each
+                streamed restore granule.  IO stays chunk-granular; this
+                only sets how many rows each fused projection call covers.
         """
+        if stream_granule_chunks <= 0:
+            raise ConfigError("stream_granule_chunks must be positive")
         self.transformer = transformer
         self.storage = storage
         self.platform = platform
+        self.stream_granule_chunks = stream_granule_chunks
         config = transformer.config
         if scheme is not None:
             if scheme.n_layers != config.n_layers:
@@ -179,21 +230,41 @@ class HCacheEngine:
     # restoration
     # ------------------------------------------------------------------
 
-    def restore(self, context_id: str, reserve_tokens: int = 0) -> KVCache:
-        """Rebuild the context's full KV cache from saved state.
+    def _check_stored(self, context_id: str, layers: list[int], kind: str, n_tokens: int) -> None:
+        for layer in layers:
+            stored = self.storage.tokens_stored(context_id, layer, kind=kind)
+            if stored != n_tokens:
+                raise RestorationError(
+                    f"layer {layer} stores {stored} {kind} rows, expected {n_tokens}"
+                )
 
-        Layers marked HIDDEN are projected from their stored hidden states
-        (the HCache path) straight into the cache's preallocated backing
-        buffers; KV layers are installed from their stored pairs; a
-        RECOMPUTE prefix is replayed from the retained tokens.  HIDDEN and
-        KV layers come back bit-identical to the states that were saved; a
+    def restore(
+        self,
+        context_id: str,
+        reserve_tokens: int = 0,
+        stats: RestoreBreakdown | None = None,
+    ) -> KVCache:
+        """Rebuild the context's full KV cache, chunk-streamed (§4.1).
+
+        Layers marked HIDDEN stream from storage as granules of a few
+        chunks each and go through the fused per-chunk projection
+        (:meth:`Transformer.project_kv_chunk`) straight into the cache's
+        backing buffers; KV layers stream the same way and install chunk
+        by chunk; a RECOMPUTE prefix is replayed from the retained
+        tokens.  The loop is double-buffered: the next granule's device
+        read is issued before the pending granule is projected, so in the
+        modelled timeline layer *k*'s projection overlaps layer *k+1*'s
+        read — compute starts at IO start, which is exactly what the
+        serving simulator's ``request_io_start`` assumes.  HIDDEN and KV
+        layers come back bit-identical to the states that were saved; a
         RECOMPUTE prefix replays the forward pass as one block, which
         matches incrementally-decoded originals to float rounding (the
         same GEMM-blocking caveat as restoring any decode-produced state).
 
         ``reserve_tokens`` lets the serving engine size the cache for the
         upcoming round up front, so the restored history never has to be
-        recopied by a post-restore capacity growth.
+        recopied by a post-restore capacity growth.  ``stats`` (optional)
+        collects the per-stage :class:`RestoreBreakdown`.
         """
         n_tokens = self.saved_tokens(context_id)
         if n_tokens == 0:
@@ -202,44 +273,121 @@ class HCacheEngine:
         positions = np.arange(n_tokens)
         hidden_layers = list(self.scheme.layers_with(LayerMethod.HIDDEN))
         kv_layers = list(self.scheme.layers_with(LayerMethod.KV))
+        timed = stats is not None
+        if timed:
+            stats.n_tokens = n_tokens
         if self.scheme.n_recompute:
             tokens = np.array(self._tokens[context_id])
+            t0 = time.perf_counter() if timed else 0.0
             cache, _ = self.transformer.recompute_prefix(tokens, self.scheme.n_recompute)
+            if timed:
+                stats.recompute_s += time.perf_counter() - t0
         else:
             cache = KVCache(config)
         cache.reserve(max(n_tokens, reserve_tokens))
+        self._check_stored(context_id, hidden_layers, "hidden", n_tokens)
+        self._check_stored(context_id, kv_layers, "kv", n_tokens)
+        io_times: list[float] = []
+        compute_times: list[float] = []
         if hidden_layers:
-            # Gather every HIDDEN layer's run directly into one stacked
-            # block and project them all through the batched norm + GEMM
-            # path, writing into the cache's backing storage.
-            stacked = np.empty(
-                (len(hidden_layers), n_tokens, config.hidden_size), dtype=np.float32
+            workspace = self.transformer.restore_workspace(
+                positions,
+                min(
+                    n_tokens,
+                    self.stream_granule_chunks * self.storage.tokens_per_chunk,
+                ),
             )
-            for i, layer in enumerate(hidden_layers):
-                stored = self.storage.tokens_stored(context_id, layer, kind="hidden")
-                if stored != n_tokens:
-                    raise RestorationError(
-                        f"layer {layer} stores {stored} tokens, expected {n_tokens}"
-                    )
-                self.storage.load_layer(context_id, layer, kind="hidden", out=stacked[i])
-            self.transformer.project_kv_into(stacked, positions, cache, layers=hidden_layers)
+            views = {
+                layer: cache.install_view(layer, n_tokens) for layer in hidden_layers
+            }
+            proj_stats = stats.projection if timed else None
+
+            def project_hidden(chunk) -> None:
+                k_view, v_view = views[chunk.layer]
+                self.transformer.project_kv_chunk(
+                    chunk.layer,
+                    chunk.data,
+                    chunk.start,
+                    k_view[chunk.start : chunk.stop],
+                    v_view[chunk.start : chunk.stop],
+                    workspace,
+                    proj_stats,
+                )
+
+            self._drain_stream(
+                context_id, hidden_layers, "hidden", project_hidden,
+                stats, io_times, compute_times,
+            )
         if kv_layers:
-            # One staging buffer for every KV layer: chunks read straight
-            # into it, install_packed writes it into cache storage.
-            staging = np.empty(
-                (n_tokens, self.storage.meta(context_id).kv_width), dtype=np.float32
-            )
             for layer in kv_layers:
-                stored = self.storage.tokens_stored(context_id, layer, kind="kv")
-                if stored != n_tokens:
-                    raise RestorationError(
-                        f"layer {layer} stores {stored} KV rows, expected {n_tokens}"
-                    )
-                self.storage.load_layer(context_id, layer, kind="kv", out=staging)
-                cache.install_packed(layer, staging)
+                cache.install_view(layer, n_tokens)
+
+            def install_kv(chunk) -> None:
+                t0 = time.perf_counter() if timed else 0.0
+                cache.install_packed_rows(chunk.layer, chunk.start, chunk.data)
+                if timed:
+                    stats.install_s += time.perf_counter() - t0
+
+            self._drain_stream(
+                context_id, kv_layers, "kv", install_kv,
+                stats, io_times, compute_times,
+            )
+        if timed:
+            stats.modelled_io_s = sum(io_times)
+            compute_total = sum(compute_times) + stats.recompute_s
+            stats.modelled_serial_s = stats.modelled_io_s + compute_total
+            # The RECOMPUTE prefix needs no stored state, so its replay
+            # overlaps the stream from the very first read.
+            pipeline_io = [0.0] + io_times
+            pipeline_compute = [stats.recompute_s] + compute_times
+            stats.modelled_pipelined_s = pipelined_makespan(pipeline_io, pipeline_compute)
         if len(cache) != n_tokens:
             raise RestorationError("restored cache length mismatch")
         return cache
+
+    def _drain_stream(
+        self,
+        context_id: str,
+        layers: list[int],
+        kind: str,
+        consume,
+        stats: RestoreBreakdown | None,
+        io_times: list[float],
+        compute_times: list[float],
+    ) -> None:
+        """Double-buffered drain of a chunk stream.
+
+        The staging ring holds two granules, so the pending granule's
+        data stays valid while the next granule's read is issued; only
+        then is the pending granule consumed (projected or installed).
+        Wall-clock read/compute per granule is recorded when ``stats``
+        is given, along with the modelled device seconds that feed the
+        pipelined-makespan accounting.
+        """
+        timed = stats is not None
+        ring = self.storage.staging_ring(
+            context_id, kind, depth=2, granule_chunks=self.stream_granule_chunks
+        )
+        stream = self.storage.stream_layers(context_id, layers, kind, ring)
+
+        def advance():
+            t0 = time.perf_counter() if timed else 0.0
+            chunk = next(stream, None)
+            if timed and chunk is not None:
+                stats.read_s += time.perf_counter() - t0
+                stats.granules += 1
+                stats.device_reads += chunk.device_reads
+                io_times.append(chunk.io_seconds)
+            return chunk
+
+        pending = advance()
+        while pending is not None:
+            upcoming = advance()
+            t0 = time.perf_counter() if timed else 0.0
+            consume(pending)
+            if timed:
+                compute_times.append(time.perf_counter() - t0)
+            pending = upcoming
 
     # ------------------------------------------------------------------
     # timing

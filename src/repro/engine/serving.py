@@ -112,12 +112,17 @@ class ServingSimulator:
             )
             if needs_restore:
                 request.phase = Phase.RESTORING
-                start = max(self._now, self._io_free_at)
-                request.restore_started_at = start
                 if request.restore_io_remaining > 0:
+                    start = max(self._now, self._io_free_at)
+                    request.restore_started_at = start
                     request.restore_io_done_at = start + request.restore_io_remaining
                     self._io_free_at = request.restore_io_done_at
                 else:
+                    # Zero-IO restorations (e.g. pure-recompute schemes or
+                    # DRAM-warm reads with negligible transfer) never touch
+                    # the IO path: their compute may start immediately and
+                    # they must not serialize behind other requests' IO.
+                    request.restore_started_at = self._now
                     request.restore_io_done_at = self._now
             else:
                 request.phase = Phase.PREFILLING

@@ -56,8 +56,9 @@ class SplitFuseScheduler:
             if request.phase is not Phase.DECODING:
                 raise ConfigError("decode list contains a non-decoding request")
         budget = self.budget_tokens
-        used = min(len(decoding), budget)
-        # Decoding tokens always fit: generation must not starve (§2.2).
+        # Decoding tokens always fit: generation must not starve (§2.2),
+        # so ``budget_used`` may exceed the budget when the decode batch
+        # alone overflows it — prefills then get nothing this iteration.
         used = len(decoding)
         chunks: list[tuple[Request, int]] = []
         remaining = max(0, budget - used)

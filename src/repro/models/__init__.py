@@ -5,7 +5,12 @@ from repro.models.config import FP16_BYTES, MODELS, ModelConfig, model_preset
 from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
 from repro.models.sampler import greedy, sample_temperature, sample_top_k
-from repro.models.transformer import ForwardResult, Transformer
+from repro.models.transformer import (
+    ForwardResult,
+    ProjectionStats,
+    RestoreWorkspace,
+    Transformer,
+)
 from repro.models.weights import LayerWeights, ModelWeights, init_weights
 
 __all__ = [
@@ -17,6 +22,8 @@ __all__ = [
     "LayerWeights",
     "ModelConfig",
     "ModelWeights",
+    "ProjectionStats",
+    "RestoreWorkspace",
     "Transformer",
     "greedy",
     "init_weights",

@@ -283,17 +283,40 @@ class KVCache:
         """
         return self.packed_rows(layer, 0, self._lens[layer])
 
-    def install_packed(self, layer: int, packed: np.ndarray) -> None:
-        """Inverse of :meth:`packed_layer`, writing directly into storage."""
-        self._check_layer(layer)
+    def _check_packed(self, packed: np.ndarray) -> np.ndarray:
         packed = np.asarray(packed, dtype=np.float32)
         kv_size = self.config.kv_size
         if packed.ndim != 2 or packed.shape[1] != 2 * kv_size:
             raise ConfigError(f"packed KV must be (n, {2 * kv_size}), got {packed.shape}")
+        return packed
+
+    def install_packed(self, layer: int, packed: np.ndarray) -> None:
+        """Inverse of :meth:`packed_layer`, writing directly into storage."""
+        self._check_layer(layer)
+        packed = self._check_packed(packed)
+        self.install_view(layer, packed.shape[0])
+        self.install_packed_rows(layer, 0, packed)
+
+    def install_packed_rows(self, layer: int, start: int, packed: np.ndarray) -> None:
+        """Write packed K|V rows into ``[start, start + n)`` of a layer.
+
+        The rows must lie inside the layer's live region (size it first
+        with :meth:`install_view`).  This is the chunk-granular inverse of
+        :meth:`packed_rows` — the streamed restore installs each arriving
+        granule of a KV-offloaded layer through it, so the packed-layout
+        knowledge stays in one place.
+        """
+        self._check_layer(layer)
+        packed = self._check_packed(packed)
         n = packed.shape[0]
-        k_view, v_view = self.install_view(layer, n)
-        k_view.reshape(n, kv_size)[...] = packed[:, :kv_size]
-        v_view.reshape(n, kv_size)[...] = packed[:, kv_size:]
+        if not 0 <= start <= start + n <= self._lens[layer]:
+            raise ConfigError(
+                f"rows [{start}, {start + n}) outside the layer's "
+                f"{self._lens[layer]} live tokens"
+            )
+        kv_size = self.config.kv_size
+        self._k[layer, start : start + n].reshape(n, kv_size)[...] = packed[:, :kv_size]
+        self._v[layer, start : start + n].reshape(n, kv_size)[...] = packed[:, kv_size:]
 
     # ------------------------------------------------------------------
     # accounting / comparison

@@ -48,9 +48,11 @@ def rope_rotate_into(
     """Rotate ``x`` by precomputed cos/sin terms, writing into ``out``.
 
     Bit-identical to :func:`apply_rope` (the per-element arithmetic is the
-    same) but with no concatenate and no fresh allocation — the
-    restoration pipeline rotates projected keys straight into the KV
-    cache's backing storage.  ``out`` must not alias ``x``.
+    same) but with no concatenate and no fresh output allocation.  The
+    chunk-streamed restore uses the faster full-width formulation
+    (:func:`rope_rotate_fullwidth_into`); this half-split variant remains
+    the simplest out-of-place rotation for callers without a workspace.
+    ``out`` must not alias ``x``.
     """
     if x.shape != out.shape:
         raise ConfigError(f"out shape {out.shape} mismatches input {x.shape}")
@@ -63,6 +65,66 @@ def rope_rotate_into(
     r1 -= x2 * sin
     np.multiply(x1, sin, out=r2)
     r2 += x2 * cos
+    return out
+
+
+def rope_rotation_tables(
+    positions: np.ndarray,
+    head_dim: int,
+    n_heads: int = 1,
+    base: float = 10000.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full-width rotation tables for :func:`rope_rotate_fullwidth_into`.
+
+    Returns ``(C, S)`` of shape ``(n_tokens, n_heads, head_dim)`` with
+    ``C = [cos | cos]`` and ``S = [-sin | sin]`` along the last axis.
+    Materializing the head broadcast once per restore turns the rotation
+    into three contiguous full-width vector ops instead of six strided
+    half-width broadcast passes — the dominant elementwise cost of the
+    projection before this fusion.
+    """
+    if n_heads <= 0:
+        raise ConfigError("n_heads must be positive")
+    cos, sin = rope_cos_sin(positions, head_dim, base)  # each (n, 1, head_dim // 2)
+    n = cos.shape[0]
+    half = head_dim // 2
+    c = np.empty((n, n_heads, head_dim), dtype=np.float32)
+    s = np.empty_like(c)
+    c[..., :half] = cos
+    c[..., half:] = cos
+    np.negative(sin, out=s[..., :half])
+    s[..., half:] = sin
+    return c, s
+
+
+def rope_rotate_fullwidth_into(
+    x: np.ndarray, c: np.ndarray, s: np.ndarray, out: np.ndarray, swap: np.ndarray
+) -> np.ndarray:
+    """Rotation as ``out = x * C + swap_halves(x) * S`` — three contiguous
+    full-width passes plus one half-swap copy.
+
+    Bit-identical to :func:`rope_rotate_into` / :func:`apply_rope`:
+    the first half is ``x1 * cos + x2 * (-sin)`` — IEEE multiplication is
+    sign-symmetric, so ``x2 * (-sin) == -(x2 * sin)`` exactly, and adding
+    a negated product equals the subtraction — and the second half is
+    ``x2 * cos + x1 * sin``, the same two products summed in the other
+    order (IEEE addition is commutative).  ``swap`` is a full-width
+    scratch buffer of ``x``'s shape; ``out`` must not alias ``x``.
+    """
+    if x.shape != out.shape or x.shape != swap.shape:
+        raise ConfigError(
+            f"out {out.shape} and swap {swap.shape} must match input {x.shape}"
+        )
+    if np.may_share_memory(x, out):
+        raise ConfigError("rope_rotate_fullwidth_into requires out not to alias the input")
+    if np.may_share_memory(swap, x) or np.may_share_memory(swap, out):
+        raise ConfigError("rope_rotate_fullwidth_into requires a non-aliasing swap buffer")
+    half = x.shape[-1] // 2
+    swap[..., :half] = x[..., half:]
+    swap[..., half:] = x[..., :half]
+    np.multiply(x, c, out=out)
+    np.multiply(swap, s, out=swap)
+    np.add(out, swap, out=out)
     return out
 
 

@@ -41,6 +41,66 @@ def layernorm(
     return out
 
 
+def rmsnorm_into(
+    x: np.ndarray,
+    weight: np.ndarray,
+    out: np.ndarray,
+    sq: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """:func:`rmsnorm` fused into a preallocated output buffer.
+
+    Bit-identical to ``rmsnorm(x, weight, eps)`` (same operations in the
+    same order) but every ``(n, hidden)``-sized intermediate lands in
+    caller-provided storage: ``sq`` holds the squared inputs, ``out`` the
+    result.  The restoration pipeline normalizes chunk after chunk through
+    the same two buffers, so no per-chunk temporaries are allocated and
+    the working set stays cache-resident.
+    """
+    if x.shape[-1] != weight.shape[-1]:
+        raise ConfigError(f"rmsnorm weight {weight.shape} mismatches input {x.shape}")
+    if out.shape != x.shape:
+        raise ConfigError(f"out shape {out.shape} mismatches input {x.shape}")
+    if sq is None:
+        sq = np.empty_like(x)
+    elif sq.shape != x.shape:
+        raise ConfigError(f"scratch shape {sq.shape} mismatches input {x.shape}")
+    np.square(x, out=sq)
+    variance = np.sum(sq, axis=-1, keepdims=True)
+    variance /= x.shape[-1]
+    np.sqrt(variance + eps, out=variance)
+    np.divide(x, variance, out=out)
+    np.multiply(out, weight, out=out)
+    return out
+
+
+def layernorm_into(
+    x: np.ndarray,
+    weight: np.ndarray,
+    out: np.ndarray,
+    bias: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """:func:`layernorm` fused into a preallocated output buffer.
+
+    Bit-identical to ``layernorm(x, weight, bias, eps)`` but the three
+    ``(n, hidden)``-sized intermediates (centered, scaled, weighted) are
+    all written in place into ``out``.
+    """
+    if x.shape[-1] != weight.shape[-1]:
+        raise ConfigError(f"layernorm weight {weight.shape} mismatches input {x.shape}")
+    if out.shape != x.shape:
+        raise ConfigError(f"out shape {out.shape} mismatches input {x.shape}")
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.var(x, axis=-1, keepdims=True)
+    np.subtract(x, mean, out=out)
+    np.divide(out, np.sqrt(variance + eps), out=out)
+    np.multiply(out, weight, out=out)
+    if bias is not None:
+        np.add(out, bias, out=out)
+    return out
+
+
 def silu(x: np.ndarray) -> np.ndarray:
     """Sigmoid-weighted linear unit, the SwiGLU gate activation."""
     return x / (1.0 + np.exp(-x))

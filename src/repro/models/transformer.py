@@ -22,6 +22,7 @@ without a copy (:meth:`Transformer.project_kv_all`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,9 +39,78 @@ from repro.models.config import ModelConfig
 from repro.models.ffn import ffn_forward
 from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
-from repro.models.rope import apply_rope, rope_cos_sin, rope_rotate_into
-from repro.models.tensor_ops import layernorm, rmsnorm
+from repro.models.rope import (
+    apply_rope,
+    rope_rotate_fullwidth_into,
+    rope_rotation_tables,
+)
+from repro.models.tensor_ops import layernorm, layernorm_into, rmsnorm, rmsnorm_into
 from repro.models.weights import LayerWeights, ModelWeights, init_weights
+
+
+@dataclass
+class ProjectionStats:
+    """Accumulated wall time of each restoration projection stage.
+
+    Filled by :meth:`Transformer.project_kv_chunk` when passed along; the
+    split quantifies how much of the projection is elementwise work (norm
+    and RoPE) versus the GEMMs — the ratio the fused chunk path exists to
+    shrink.
+    """
+
+    norm_s: float = 0.0
+    gemm_s: float = 0.0
+    rope_s: float = 0.0
+    chunks: int = 0
+
+    @property
+    def elementwise_s(self) -> float:
+        """Non-GEMM projection time (norm + RoPE passes)."""
+        return self.norm_s + self.rope_s
+
+    @property
+    def total_s(self) -> float:
+        return self.norm_s + self.gemm_s + self.rope_s
+
+
+class RestoreWorkspace:
+    """Preallocated scratch and shared RoPE tables for chunked restores.
+
+    Built once per restoration (:meth:`Transformer.restore_workspace`);
+    every chunk of every layer is then projected through the same
+    buffers, so the steady state allocates nothing and the per-chunk
+    working set (a few chunk-sized arrays) stays cache-resident.  The
+    cos/sin tables cover the full restored position range and are sliced
+    per chunk — the trigonometry is computed once, not per layer or per
+    chunk.
+    """
+
+    def __init__(
+        self, config: ModelConfig, positions: np.ndarray, max_chunk_tokens: int
+    ) -> None:
+        if max_chunk_tokens <= 0:
+            raise ConfigError("workspace needs a positive chunk capacity")
+        self.config = config
+        self.max_chunk_tokens = max_chunk_tokens
+        self.normed = np.empty((max_chunk_tokens, config.hidden_size), dtype=np.float32)
+        self.sq = (
+            np.empty_like(self.normed) if config.norm == "rmsnorm" else None
+        )
+        if config.rope:
+            positions = np.asarray(positions)
+            if positions.ndim != 1:
+                raise ConfigError("positions must be a 1-D array of absolute positions")
+            self.rot_c, self.rot_s = rope_rotation_tables(
+                positions, config.head_dim, config.n_kv_heads
+            )
+            self.k_tmp = np.empty(
+                (max_chunk_tokens, config.n_kv_heads, config.head_dim), dtype=np.float32
+            )
+            self.rot_swap = np.empty_like(self.k_tmp)
+        else:
+            self.rot_c = self.rot_s = None
+            self.k_tmp = None
+            self.rot_swap = None
 
 
 @dataclass
@@ -226,40 +296,126 @@ class Transformer:
         return blocks, sel, blocks[0].shape[0]
 
     def _project_blocks(self, blocks, sel, positions, dest) -> None:
-        """Run the shared norm + out= GEMM (+ RoPE) loop.
+        """Run the shared fused norm + out= GEMM (+ RoPE) loop.
 
         ``sel[i]`` is the model layer behind block ``i`` (weights are
         integer-indexed from the cached stacks — zero-copy views, no
         per-call fancy-index copies).  ``dest(i)`` returns the writable
         ``(k, v)`` destination views for block ``i`` — either rows of a
         fresh array pair (:meth:`project_kv_all`) or cache storage
-        (:meth:`project_kv_into`).  Identical arithmetic either way, so
-        both stay bit-exact with per-layer :meth:`project_kv`.
+        (:meth:`project_kv_into`).  Each block goes through the same
+        fused per-chunk projection the streamed restore uses (with the
+        whole layer as one chunk), so every restoration path stays
+        bit-exact with per-layer :meth:`project_kv`.
         """
-        norm_w, wk_all, wv_all = self._projection_stack()
         n_tokens = blocks[0].shape[0]
-        kv_size = self.config.kv_size
-        rope = self.config.rope
-        if rope:
+        if self.config.rope:
             positions = np.asarray(positions)
             if positions.shape != (n_tokens,):
                 raise ConfigError(
                     f"positions shape {positions.shape} mismatches token count {n_tokens}"
                 )
-            cos, sin = rope_cos_sin(positions, self.config.head_dim)
-            k_tmp = np.empty(
-                (n_tokens, self.config.n_kv_heads, self.config.head_dim),
-                dtype=np.float32,
-            )
+        workspace = self.restore_workspace(positions, max(n_tokens, 1))
         for i, layer in enumerate(sel):
             k_dest, v_dest = dest(i)
-            normed = self._norm(blocks[i], norm_w[layer, 0])
-            if rope:
-                np.matmul(normed, wk_all[layer], out=k_tmp.reshape(n_tokens, kv_size))
-                rope_rotate_into(k_tmp, cos, sin, out=k_dest)
-            else:
-                np.matmul(normed, wk_all[layer], out=k_dest.reshape(n_tokens, kv_size))
-            np.matmul(normed, wv_all[layer], out=v_dest.reshape(n_tokens, kv_size))
+            self.project_kv_chunk(layer, blocks[i], 0, k_dest, v_dest, workspace)
+
+    def restore_workspace(
+        self, positions: np.ndarray, max_chunk_tokens: int
+    ) -> RestoreWorkspace:
+        """Build the per-restore scratch for :meth:`project_kv_chunk`.
+
+        ``positions`` are the absolute positions of every token the
+        restore will cover (the RoPE tables are precomputed for all of
+        them once); ``max_chunk_tokens`` bounds the largest chunk that
+        will be projected through the workspace.
+        """
+        return RestoreWorkspace(self.config, positions, max_chunk_tokens)
+
+    def project_kv_chunk(
+        self,
+        layer: int,
+        hidden_chunk: np.ndarray,
+        row_start: int,
+        k_dest: np.ndarray,
+        v_dest: np.ndarray,
+        workspace: RestoreWorkspace,
+        stats: ProjectionStats | None = None,
+    ) -> None:
+        """Fused restoration projection of one chunk of one layer.
+
+        Runs norm + K/V GEMMs + RoPE rotation over ``hidden_chunk`` (rows
+        ``[row_start, row_start + m)`` of the layer's token run) in one
+        pass, writing results straight into ``k_dest``/``v_dest`` — row
+        slices of the KV cache's backing storage.  All intermediates live
+        in ``workspace``; the elementwise stages (norm, RoPE) are the
+        fused ``out=`` variants, so the chunk path performs zero
+        allocations and two fewer full passes over the data than the
+        pre-chunk pipeline.  Arithmetic order matches
+        :meth:`project_kv` exactly, keeping the result bit-identical to a
+        whole-layer (or naive per-layer) projection of the same rows.
+
+        ``stats`` (optional) accumulates per-stage wall time.
+        """
+        config = self.config
+        norm_w, wk_all, wv_all = self._projection_stack()
+        hidden_chunk = np.asarray(hidden_chunk, dtype=np.float32)
+        if hidden_chunk.ndim != 2 or hidden_chunk.shape[1] != config.hidden_size:
+            raise ConfigError(
+                f"hidden chunk must be (m, {config.hidden_size}), got {hidden_chunk.shape}"
+            )
+        m = hidden_chunk.shape[0]
+        if m > workspace.max_chunk_tokens:
+            raise ConfigError(
+                f"chunk of {m} tokens exceeds workspace capacity "
+                f"{workspace.max_chunk_tokens}"
+            )
+        row_shape = (m, config.n_kv_heads, config.head_dim)
+        if k_dest.shape != row_shape or v_dest.shape != row_shape:
+            raise ConfigError(
+                f"destinations must be {row_shape}, got {k_dest.shape} / {v_dest.shape}"
+            )
+        kv_size = config.kv_size
+        timed = stats is not None
+        t0 = time.perf_counter() if timed else 0.0
+        normed = workspace.normed[:m]
+        if config.norm == "rmsnorm":
+            rmsnorm_into(hidden_chunk, norm_w[layer, 0], normed, workspace.sq[:m])
+        else:
+            layernorm_into(hidden_chunk, norm_w[layer, 0], normed)
+        if timed:
+            t1 = time.perf_counter()
+            stats.norm_s += t1 - t0
+            t0 = t1
+        if config.rope:
+            if row_start < 0 or row_start + m > workspace.rot_c.shape[0]:
+                raise ConfigError(
+                    f"chunk rows [{row_start}, {row_start + m}) outside the "
+                    f"workspace's {workspace.rot_c.shape[0]} precomputed positions"
+                )
+            k_tmp = workspace.k_tmp[:m]
+            np.matmul(normed, wk_all[layer], out=k_tmp.reshape(m, kv_size))
+            np.matmul(normed, wv_all[layer], out=v_dest.reshape(m, kv_size))
+            if timed:
+                t1 = time.perf_counter()
+                stats.gemm_s += t1 - t0
+                t0 = t1
+            rope_rotate_fullwidth_into(
+                k_tmp,
+                workspace.rot_c[row_start : row_start + m],
+                workspace.rot_s[row_start : row_start + m],
+                out=k_dest,
+                swap=workspace.rot_swap[:m],
+            )
+            if timed:
+                stats.rope_s += time.perf_counter() - t0
+        else:
+            np.matmul(normed, wk_all[layer], out=k_dest.reshape(m, kv_size))
+            np.matmul(normed, wv_all[layer], out=v_dest.reshape(m, kv_size))
+            if timed:
+                stats.gemm_s += time.perf_counter() - t0
+        if timed:
+            stats.chunks += 1
 
     def layer_forward(
         self,

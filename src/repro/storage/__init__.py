@@ -12,7 +12,8 @@ from repro.storage.codec import GroupQuantizer, QuantizedBlock, quantization_log
 from repro.storage.daemon import FlushDaemon, SnapshotOutcome
 from repro.storage.device import IOReceipt, StorageDevice
 from repro.storage.manager import ContextMeta, StorageManager
-from repro.storage.tiered import TieredBackend, TieredReadTiming
+from repro.storage.streaming import LayerChunk, StagingRing, pipelined_makespan
+from repro.storage.tiered import TieredBackend, TieredReadTiming, TieredStreamTiming
 
 __all__ = [
     "CHUNK_TOKENS",
@@ -25,12 +26,16 @@ __all__ = [
     "FlushDaemon",
     "GroupQuantizer",
     "IOReceipt",
+    "LayerChunk",
     "LayerReadTiming",
     "QuantizedBlock",
     "SnapshotOutcome",
+    "StagingRing",
     "StorageDevice",
     "StorageManager",
     "TieredBackend",
     "TieredReadTiming",
+    "TieredStreamTiming",
+    "pipelined_makespan",
     "quantization_logit_drift",
 ]

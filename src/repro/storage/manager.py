@@ -15,6 +15,7 @@ Restoration reads token-before-layer: one call fetches a whole layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.errors import ConfigError, StateError
 from repro.storage.allocator import ChunkAllocator
 from repro.storage.array import LayerReadTiming, StorageArray
 from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
+from repro.storage.streaming import LayerChunk, StagingRing
 
 
 class _TailBuffer:
@@ -289,6 +291,120 @@ class StorageManager:
         if tail.n:
             out[flushed_tokens:] = tail.data[: tail.n]
         return out
+
+    def staging_ring(
+        self,
+        context_id: str,
+        kind: str = "hidden",
+        depth: int = 2,
+        granule_chunks: int = 1,
+    ) -> StagingRing:
+        """Build a staging ring sized for one context's streamed reads.
+
+        ``granule_chunks`` storage chunks are coalesced into each streamed
+        granule: IO stays chunk-granular (every device chunk is a separate
+        ``read_into``), but the consumer sees fewer, larger row blocks,
+        which keeps the per-granule projection overhead amortized.
+        """
+        if granule_chunks <= 0:
+            raise ConfigError("granule_chunks must be positive")
+        meta = self.meta(context_id)
+        return StagingRing(
+            depth,
+            granule_chunks * self.tokens_per_chunk,
+            self._width(meta, kind),
+            meta.dtype,
+        )
+
+    def stream_layer(
+        self,
+        context_id: str,
+        layer: int,
+        kind: str = "hidden",
+        ring: StagingRing | None = None,
+    ) -> Iterator[LayerChunk]:
+        """Stream one layer's token run as granule-sized row blocks.
+
+        Yields :class:`LayerChunk` granules in row order.  Device-resident
+        chunks are read with :meth:`StorageDevice.read_into` straight into
+        the granule's staging slot (one read per chunk, so IO granularity
+        and device busy accounting match :meth:`load_layer` exactly); the
+        host-buffered tail rows are slice-copied into the final granule.
+        Each yielded view stays valid for ``ring.depth - 1`` further
+        granules — enough for a double-buffered consumer that projects
+        granule ``k`` while granule ``k+1``'s read is issued.
+
+        The read for a granule happens when the iterator advances onto
+        it, which is what lets a consumer overlap (in pipeline structure,
+        and in the modelled timeline) reads with per-granule compute.
+        """
+        meta = self.meta(context_id)
+        run = self.allocator.run(context_id, layer, kind)
+        tail = self._tails[(context_id, layer, kind)]
+        width = self._width(meta, kind)
+        if ring is None:
+            ring = self.staging_ring(context_id, kind)
+        if ring.width != width:
+            raise ConfigError(
+                f"staging ring width {ring.width} mismatches {kind!r} width {width}"
+            )
+        cpc = self.tokens_per_chunk
+        granule = ring.granule_tokens
+        if granule % cpc != 0:
+            raise ConfigError(
+                f"granule of {granule} tokens must be a multiple of the "
+                f"{cpc}-token chunk size"
+            )
+        n_tokens = run.n_tokens
+        flushed_tokens = n_tokens - tail.n
+        for gstart in range(0, n_tokens, granule):
+            gstop = min(gstart + granule, n_tokens)
+            slot = ring.acquire()
+            view = slot[: gstop - gstart]
+            io_seconds = 0.0
+            device_reads = 0
+            device_stop = min(gstop, flushed_tokens)
+            for start in range(gstart, device_stop, cpc):
+                chunk_index = start // cpc
+                key = ChunkKey(context_id, layer, chunk_index, kind)
+                receipt = self.array.device_for(chunk_index, offset=layer).read_into(
+                    key, view[start - gstart : start - gstart + cpc]
+                )
+                io_seconds += receipt.seconds
+                device_reads += 1
+            if gstop > flushed_tokens:
+                tail_start = max(gstart, flushed_tokens)
+                view[tail_start - gstart :] = tail.data[
+                    tail_start - flushed_tokens : gstop - flushed_tokens
+                ]
+            yield LayerChunk(
+                layer=layer,
+                kind=kind,
+                start=gstart,
+                stop=gstop,
+                data=view,
+                io_seconds=io_seconds,
+                device_reads=device_reads,
+            )
+
+    def stream_layers(
+        self,
+        context_id: str,
+        layers: Sequence[int],
+        kind: str = "hidden",
+        ring: StagingRing | None = None,
+    ) -> Iterator[LayerChunk]:
+        """Stream several layers back to back through one staging ring.
+
+        Restoration consumes this as a single pipeline: the first granule
+        of layer ``k+1`` can be read while the last granule of layer ``k``
+        is still being projected — the §4.1 property that hidden-state
+        transmission proceeds without per-layer synchronization.
+        """
+        if ring is None and len(layers) > 0:
+            ring = self.staging_ring(context_id, kind)
+        for layer in layers:
+            yield from self.stream_layer(context_id, layer, kind, ring)
 
     def layer_read_timing(
         self, context_id: str, layer: int, kind: str = "hidden"

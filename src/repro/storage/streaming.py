@@ -1,0 +1,127 @@
+"""Chunk-granular streaming reads for the restoration pipeline (§4.1).
+
+HCache's restoration overlaps hidden-state transmission with the K/V
+projection GEMMs: compute starts when the *first* chunks arrive, not when
+the whole layer has landed.  This module provides the pieces the numeric
+engine needs to actually execute that shape:
+
+- :class:`StagingRing` — a small ring of preallocated staging buffers the
+  storage manager reads device chunks into (the functional analogue of
+  the pinned host buffers a real pipeline DMAs through).  With the
+  default depth of 2 the consumer can hold one granule while the next
+  one's read is already in flight (double buffering).
+- :class:`LayerChunk` — one streamed granule: a row range of one layer's
+  token run, a zero-copy view of its staging slot, and the modelled IO
+  seconds its device reads cost.
+- :func:`pipelined_makespan` — the two-stream chunk timeline shared by
+  the numeric engine's restore breakdown and the tiered/prefetching
+  timing models, so the DRAM-warm path and the SSD path are costed by
+  identical code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class StagingRing:
+    """Ring of preallocated ``(granule_tokens, width)`` staging buffers.
+
+    ``acquire`` hands out slots round-robin; a slot's previous content is
+    overwritten, so a view yielded from slot *i* stays valid only until
+    ``depth - 1`` further acquisitions — exactly the lookahead window a
+    double-buffered consumer needs (read granule ``k+1`` while granule
+    ``k`` is still being projected), and no more.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        granule_tokens: int,
+        width: int,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        if depth < 2:
+            raise ConfigError("staging ring needs depth >= 2 for double buffering")
+        if granule_tokens <= 0 or width <= 0:
+            raise ConfigError("staging slots need positive token count and width")
+        self.granule_tokens = granule_tokens
+        self.width = width
+        self._slots = [
+            np.empty((granule_tokens, width), dtype=np.dtype(dtype)) for _ in range(depth)
+        ]
+        self._next = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._slots)
+
+    def acquire(self) -> np.ndarray:
+        """Return the next slot (its previous content becomes invalid)."""
+        slot = self._slots[self._next]
+        self._next = (self._next + 1) % len(self._slots)
+        return slot
+
+
+@dataclass(frozen=True)
+class LayerChunk:
+    """One streamed granule of a layer's token run.
+
+    Attributes:
+        layer: Model layer the rows belong to.
+        kind: ``"hidden"`` or ``"kv"``.
+        start: First token row covered (inclusive).
+        stop: Last token row covered (exclusive).
+        data: ``(stop - start, width)`` view of a staging-ring slot.
+            Valid until the ring recycles the slot (``depth - 1`` more
+            granules); consumers that look further ahead must copy.
+        io_seconds: Modelled device time of the granule's chunk reads
+            (0 for rows served from the host-buffered tail).
+        device_reads: Device chunk reads issued for this granule.
+    """
+
+    layer: int
+    kind: str
+    start: int
+    stop: int
+    data: np.ndarray
+    io_seconds: float
+    device_reads: int
+
+    @property
+    def n_tokens(self) -> int:
+        return self.stop - self.start
+
+
+def pipelined_makespan(
+    io_seconds: Sequence[float] | Iterable[float],
+    compute_seconds: Sequence[float] | Iterable[float],
+) -> float:
+    """Makespan of a chunk pipeline over one IO and one compute stream.
+
+    Chunk ``i``'s transfer chains on the IO stream; its compute starts
+    once both its own transfer and chunk ``i-1``'s compute are done —
+    the §4.1 restoration shape at chunk granularity.  Both the numeric
+    engine's restore breakdown and the tiered-backend timing model cost
+    their streams through this one function.
+    """
+    io_list = list(io_seconds)
+    compute_list = list(compute_seconds)
+    if len(io_list) != len(compute_list):
+        raise ConfigError(
+            f"pipeline stages must align: {len(io_list)} IO chunks vs "
+            f"{len(compute_list)} compute chunks"
+        )
+    io_done = 0.0
+    compute_done = 0.0
+    for io_s, compute_s in zip(io_list, compute_list):
+        if io_s < 0 or compute_s < 0:
+            raise ConfigError("chunk durations must be non-negative")
+        io_done += io_s
+        compute_done = max(compute_done, io_done) + compute_s
+    return compute_done

@@ -12,6 +12,7 @@ interval of multi-turn chat).
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -31,6 +32,33 @@ class TieredReadTiming:
 
     seconds: float
     tier: str
+
+
+@dataclass(frozen=True)
+class TieredStreamTiming:
+    """Chunk-granular timing of one tiered read.
+
+    The restoration pipeline consumes reads chunk by chunk so projections
+    can overlap the remaining transfer; this carries the per-chunk
+    modelled seconds it needs to build that timeline.
+
+    Attributes:
+        chunk_seconds: Modelled read time of each streamed chunk, in
+            arrival order.
+        tier: ``"dram"`` or ``"ssd"``.
+    """
+
+    chunk_seconds: tuple[float, ...]
+    tier: str
+
+    @property
+    def seconds(self) -> float:
+        """Total transfer time (what a non-streaming read would charge)."""
+        return sum(self.chunk_seconds)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_seconds)
 
 
 class TieredBackend:
@@ -91,19 +119,51 @@ class TieredBackend:
 
         Returns the (background) SSD-to-DRAM copy time; it does not count
         against any foreground restoration nor against the hit statistics.
+        A context that is already DRAM-resident only copies whatever grew
+        since it was promoted (the common ``finish_round`` after a warm
+        read copies nothing at all) — re-warming resident bytes is free.
         """
         if nbytes <= 0:
             raise ConfigError("prefetch size must be positive")
+        resident_bytes = self._resident.get(context_id, 0)
         self._promote(context_id, nbytes)
+        copy_bytes = max(0, nbytes - resident_bytes)
+        if copy_bytes == 0:
+            return 0.0
         chunk_bytes = max(1, nbytes // 16)
-        return self.array.read_time(nbytes, chunk_bytes)
+        return self.array.read_time(copy_bytes, chunk_bytes)
 
-    def read(self, context_id: str, nbytes: int, chunk_bytes: int) -> TieredReadTiming:
-        """Demand-read a context's states, promoting it into DRAM.
+    def _stream_chunk_seconds(
+        self, tier: str, nbytes: int, chunk_bytes: int
+    ) -> tuple[float, ...]:
+        """Per-chunk modelled seconds of streaming ``nbytes`` from a tier.
+
+        Chunks arrive back to back at the tier's aggregate bandwidth: the
+        SSD array stripes every chunk across its devices (so per-chunk
+        time is the striped total split evenly), DRAM streams at the
+        host-link/DRAM floor.  Total time is identical to a whole-context
+        read; the split is what lets restoration overlap compute with the
+        remaining transfer.
+        """
+        n_chunks = math.ceil(nbytes / chunk_bytes)
+        sizes = [chunk_bytes] * n_chunks
+        sizes[-1] = nbytes - chunk_bytes * (n_chunks - 1)
+        if tier == "dram":
+            bandwidth = min(self.link_bandwidth, self.dram.bandwidth)
+            return tuple(size / bandwidth for size in sizes)
+        total = self.array.read_time(nbytes, chunk_bytes)
+        return tuple(total * size / nbytes for size in sizes)
+
+    def read_streamed(
+        self, context_id: str, nbytes: int, chunk_bytes: int
+    ) -> TieredStreamTiming:
+        """Demand-read a context chunk by chunk, promoting it into DRAM.
 
         DRAM-resident contexts stream at the host link speed; others pay
         the SSD array and become resident for next time (§4's hierarchical
-        backend behaviour).
+        backend behaviour).  The returned per-chunk times feed the
+        chunk-granular restoration pipeline — warm and cold reads stream
+        through this same code path.
         """
         if nbytes <= 0 or chunk_bytes <= 0:
             raise ConfigError("read sizes must be positive")
@@ -113,12 +173,16 @@ class TieredBackend:
         else:
             self._misses += 1
         self._promote(context_id, nbytes)
-        if hit:
-            seconds = nbytes / min(self.link_bandwidth, self.dram.bandwidth)
-            return TieredReadTiming(seconds=seconds, tier="dram")
-        return TieredReadTiming(
-            seconds=self.array.read_time(nbytes, chunk_bytes), tier="ssd"
+        tier = "dram" if hit else "ssd"
+        return TieredStreamTiming(
+            chunk_seconds=self._stream_chunk_seconds(tier, nbytes, chunk_bytes),
+            tier=tier,
         )
+
+    def read(self, context_id: str, nbytes: int, chunk_bytes: int) -> TieredReadTiming:
+        """Whole-context view of :meth:`read_streamed` (same code path)."""
+        streamed = self.read_streamed(context_id, nbytes, chunk_bytes)
+        return TieredReadTiming(seconds=streamed.seconds, tier=streamed.tier)
 
     def evict(self, context_id: str) -> None:
         """Drop a context from the DRAM tier (SSD copy remains)."""

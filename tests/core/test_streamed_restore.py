@@ -1,0 +1,274 @@
+"""Bit-exactness and breakdown tests for the chunk-streamed restore.
+
+The chunk-granular pipeline (streamed reads + fused per-chunk projection)
+must reproduce *exactly* the states the naive whole-layer reference path
+(:mod:`repro.models.reference`) computes from the same stored data —
+across partial tail chunks, GQA configs, layernorm/no-RoPE models, mixed
+partition schemes, and DRAM- vs SSD-backed arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.hcache import HCacheEngine, RestoreBreakdown
+from repro.core.partition import PartitionScheme
+from repro.core.profiler import build_storage_array
+from repro.errors import ConfigError
+from repro.models.config import model_preset
+from repro.models.kv_cache import KVCache
+from repro.models.reference import NaiveKVCache, naive_restore_cache_from_hidden
+from repro.models.transformer import Transformer
+from repro.simulator import platform_preset
+from repro.simulator.pipeline import LayerMethod
+from repro.storage import StorageManager
+
+
+def build_engine(config, platform_name="default", scheme=None, granule_chunks=4):
+    model = Transformer.from_seed(config, seed=11)
+    manager = StorageManager(build_storage_array(platform_preset(platform_name)))
+    engine = HCacheEngine(
+        model, manager, scheme=scheme, stream_granule_chunks=granule_chunks
+    )
+    return model, engine
+
+
+def save_rounds(engine, model, config, n_tokens, seal=True, block=37):
+    """Persist a prefilled context in several append blocks."""
+    rng = np.random.default_rng(5)
+    tokens = rng.integers(0, config.vocab_size, size=n_tokens)
+    engine.register_context("c")
+    result, cache = model.prefill(tokens, capture_hidden=True)
+    hidden = result.hidden_states
+    for start in range(0, n_tokens, block):
+        stop = min(start + block, n_tokens)
+        engine.save_states(
+            "c", [h[start:stop] for h in hidden], tokens[start:stop], kv_cache=cache
+        )
+    if seal:
+        engine.seal("c")
+    return cache, hidden
+
+
+def reference_restore(model, engine, n_tokens):
+    """The naive whole-layer oracle, fed from the same stored state."""
+    config = model.config
+    scheme = engine.scheme
+    cache = NaiveKVCache(config)
+    hidden = [None] * config.n_layers
+    for layer in range(config.n_layers):
+        if scheme.methods[layer] is LayerMethod.HIDDEN:
+            hidden[layer] = engine.storage.load_layer("c", layer, kind="hidden")
+    for layer, h in enumerate(hidden):
+        if h is not None:
+            k, v = model.project_kv(layer, h, np.arange(n_tokens))
+            cache.install(layer, k, v)
+    for layer in range(config.n_layers):
+        if scheme.methods[layer] is LayerMethod.KV:
+            cache.install_packed(layer, engine.storage.load_layer("c", layer, kind="kv"))
+    return cache
+
+
+def assert_layers_bit_equal(restored, reference, layers):
+    for layer in layers:
+        k1, v1 = restored.get(layer)
+        k2, v2 = reference.get(layer)
+        assert np.array_equal(k1, k2), f"layer {layer} keys differ"
+        assert np.array_equal(v1, v2), f"layer {layer} values differ"
+
+
+GQA_CONFIG = replace(
+    model_preset("tiny-llama"), name="tiny-gqa", n_kv_heads=2, n_heads=4
+)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("n_tokens", [5, 64, 100, 197, 256])
+    def test_partial_tail_chunks(self, n_tokens):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, n_tokens)
+        restored = engine.restore("c")
+        reference = reference_restore(model, engine, n_tokens)
+        assert_layers_bit_equal(restored, reference, range(config.n_layers))
+
+    @pytest.mark.parametrize("granule_chunks", [1, 2, 4, 8])
+    def test_granule_size_invariant(self, granule_chunks):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config, granule_chunks=granule_chunks)
+        save_rounds(engine, model, config, 197)
+        restored = engine.restore("c")
+        reference = reference_restore(model, engine, 197)
+        assert_layers_bit_equal(restored, reference, range(config.n_layers))
+
+    def test_gqa_config(self):
+        model, engine = build_engine(GQA_CONFIG)
+        save_rounds(engine, model, GQA_CONFIG, 150)
+        restored = engine.restore("c")
+        reference = reference_restore(model, engine, 150)
+        assert_layers_bit_equal(restored, reference, range(GQA_CONFIG.n_layers))
+
+    def test_layernorm_no_rope_config(self):
+        config = model_preset("tiny-opt")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, 130)
+        restored = engine.restore("c")
+        reference = reference_restore(model, engine, 130)
+        assert_layers_bit_equal(restored, reference, range(config.n_layers))
+
+    def test_mixed_hidden_kv_scheme(self):
+        config = model_preset("tiny-llama")
+        scheme = PartitionScheme.with_kv_suffix(config.n_layers, 2)
+        model, engine = build_engine(config, scheme=scheme)
+        cache, _ = save_rounds(engine, model, config, 145)
+        restored = engine.restore("c")
+        reference = reference_restore(model, engine, 145)
+        assert_layers_bit_equal(restored, reference, range(config.n_layers))
+        # KV layers also match the live cache they were saved from.
+        for layer in scheme.layers_with(LayerMethod.KV):
+            k1, v1 = restored.get(layer)
+            k2, v2 = cache.get(layer)
+            assert np.array_equal(k1, k2) and np.array_equal(v1, v2)
+
+    def test_dram_tier_matches_ssd_tier(self):
+        config = model_preset("tiny-llama")
+        model_a, engine_ssd = build_engine(config, "default")
+        model_b, engine_dram = build_engine(config, "a100-dram")
+        save_rounds(engine_ssd, model_a, config, 170)
+        save_rounds(engine_dram, model_b, config, 170)
+        a = engine_ssd.restore("c")
+        b = engine_dram.restore("c")
+        assert a.equals(b, atol=0.0)
+
+    def test_matches_live_cache_exactly_for_prefill_states(self):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        cache, _ = save_rounds(engine, model, config, 197)
+        restored = engine.restore("c")
+        assert restored.equals(cache, atol=0.0)
+
+    def test_unsealed_tail_restores_from_host_buffer(self):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        cache, _ = save_rounds(engine, model, config, 97, seal=False)
+        restored = engine.restore("c")
+        assert restored.equals(cache, atol=0.0)
+
+
+class TestRestoreBreakdown:
+    def test_stage_accounting_filled(self):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, 256)
+        stats = RestoreBreakdown()
+        engine.restore("c", stats=stats)
+        assert stats.n_tokens == 256
+        assert stats.granules == config.n_layers  # 256 tokens, 4-chunk granules
+        assert stats.device_reads == config.n_layers * 4
+        assert stats.read_s > 0
+        assert stats.projection.chunks == stats.granules
+        assert stats.projection.norm_s > 0
+        assert stats.projection.gemm_s > 0
+        assert stats.projection.rope_s > 0  # tiny-llama uses RoPE
+        assert stats.projection.elementwise_s == pytest.approx(
+            stats.projection.norm_s + stats.projection.rope_s
+        )
+
+    def test_no_rope_model_reports_zero_rope_time(self):
+        config = model_preset("tiny-opt")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, 128)
+        stats = RestoreBreakdown()
+        engine.restore("c", stats=stats)
+        assert stats.projection.rope_s == 0.0
+        assert stats.projection.gemm_s > 0
+
+    def test_pipelined_makespan_bounded_by_serial(self):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, 256)
+        stats = RestoreBreakdown()
+        engine.restore("c", stats=stats)
+        assert stats.modelled_io_s > 0
+        assert stats.modelled_pipelined_s >= stats.modelled_io_s
+        assert stats.modelled_pipelined_s <= stats.modelled_serial_s + 1e-12
+
+    def test_recompute_prefix_overlaps_stream(self):
+        config = model_preset("tiny-llama")
+        scheme = PartitionScheme.with_recompute_prefix(config.n_layers, 1)
+        model, engine = build_engine(config, scheme=scheme)
+        save_rounds(engine, model, config, 128)
+        stats = RestoreBreakdown()
+        restored = engine.restore("c", stats=stats)
+        assert stats.recompute_s > 0
+        assert len(restored) == 128
+        # The prefix replay needs no stored bytes: pipelined < serial.
+        assert stats.modelled_pipelined_s < stats.modelled_serial_s
+
+    def test_untimed_restore_leaves_no_stats(self):
+        config = model_preset("tiny-llama")
+        model, engine = build_engine(config)
+        save_rounds(engine, model, config, 64)
+        restored = engine.restore("c")
+        assert len(restored) == 64
+
+
+class TestChunkProjectionValidation:
+    def test_bad_chunk_shape_rejected(self):
+        config = model_preset("tiny-llama")
+        model = Transformer.from_seed(config, seed=0)
+        ws = model.restore_workspace(np.arange(8), 8)
+        k = np.empty((4, config.n_kv_heads, config.head_dim), dtype=np.float32)
+        v = np.empty_like(k)
+        with pytest.raises(ConfigError):
+            model.project_kv_chunk(0, np.zeros((4, 3), np.float32), 0, k, v, ws)
+
+    def test_chunk_beyond_workspace_rejected(self):
+        config = model_preset("tiny-llama")
+        model = Transformer.from_seed(config, seed=0)
+        ws = model.restore_workspace(np.arange(8), 4)
+        h = np.zeros((8, config.hidden_size), np.float32)
+        k = np.empty((8, config.n_kv_heads, config.head_dim), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            model.project_kv_chunk(0, h, 0, k, np.empty_like(k), ws)
+
+    def test_rows_outside_positions_rejected(self):
+        config = model_preset("tiny-llama")
+        model = Transformer.from_seed(config, seed=0)
+        ws = model.restore_workspace(np.arange(8), 8)
+        h = np.zeros((8, config.hidden_size), np.float32)
+        k = np.empty((8, config.n_kv_heads, config.head_dim), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            model.project_kv_chunk(0, h, 4, k, np.empty_like(k), ws)
+
+    def test_invalid_granule_chunks_rejected(self):
+        config = model_preset("tiny-llama")
+        model = Transformer.from_seed(config, seed=0)
+        manager = StorageManager(build_storage_array(platform_preset("default")))
+        with pytest.raises(ConfigError):
+            HCacheEngine(model, manager, stream_granule_chunks=0)
+
+    def test_chunk_matches_whole_layer_projection(self):
+        """project_kv_chunk over row slices == project_kv over the layer."""
+        config = GQA_CONFIG
+        model = Transformer.from_seed(config, seed=3)
+        rng = np.random.default_rng(0)
+        n = 197
+        hidden = rng.normal(size=(n, config.hidden_size)).astype(np.float32)
+        positions = np.arange(n)
+        k_ref, v_ref = model.project_kv(1, hidden, positions)
+        ws = model.restore_workspace(positions, 64)
+        cache = KVCache(config)
+        cache.reserve(n)
+        k_view, v_view = cache.install_view(1, n)
+        for start in range(0, n, 64):
+            stop = min(start + 64, n)
+            model.project_kv_chunk(
+                1, hidden[start:stop], start,
+                k_view[start:stop], v_view[start:stop], ws,
+            )
+        assert np.array_equal(k_view, k_ref)
+        assert np.array_equal(v_view, v_ref)

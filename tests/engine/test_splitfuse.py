@@ -68,6 +68,25 @@ class TestPlanning:
         plan = scheduler.plan([], [])
         assert not plan.has_work
 
+    def test_decode_overflow_may_exceed_budget(self):
+        """Decodes never starve (§2.2): when the decode batch alone
+        overflows the budget, ``budget_used`` exceeds it and prefills get
+        zero tokens this iteration."""
+        scheduler = SplitFuseScheduler(budget_tokens=512)
+        assert scheduler.budget_tokens == 512
+        decodes = [decoding_request(f"d{i}") for i in range(600)]
+        plan = scheduler.plan(decodes, [prefilling_request("p", 100)])
+        assert len(plan.decode_requests) == 600
+        assert plan.budget_used == 600  # exceeds the 512 budget
+        assert plan.prefill_chunks == ()
+
+    def test_decode_exactly_at_budget_starves_prefill(self):
+        scheduler = SplitFuseScheduler(budget_tokens=512)
+        decodes = [decoding_request(f"d{i}") for i in range(512)]
+        plan = scheduler.plan(decodes, [prefilling_request("p", 100)])
+        assert plan.budget_used == 512
+        assert plan.prefill_chunks == ()
+
     def test_budget_rounded_to_tile(self):
         scheduler = SplitFuseScheduler(budget_tokens=500)
         assert scheduler.budget_tokens == 384  # optimal_batch_tokens(500)

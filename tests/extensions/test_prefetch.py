@@ -62,6 +62,48 @@ class TestWarmRestoration:
         with pytest.raises(ConfigError):
             prefetcher.finish_round("sess", -1)
 
+    def test_repeated_warm_round_prefetch_is_free(self, prefetcher):
+        """Regression: after a warm read the context is DRAM-resident, so
+        the next ``finish_round`` must not charge a fresh SSD copy."""
+        first = prefetcher.finish_round("sess", 2048)
+        assert first > 0
+        prefetcher.restore("sess", 2048)
+        assert prefetcher.finish_round("sess", 2048) == 0.0
+
+
+class TestChunkPipeline:
+    def test_chunk_pipeline_reported(self, prefetcher):
+        result = prefetcher.restore("sess", 2048)
+        assert result.chunk_pipelined_s > 0
+
+    def test_chunk_pipeline_bounded_by_transfer_and_serial(self, prefetcher):
+        """The chunk timeline is at least the scheme's stored-byte
+        transfer time and at most the serial transfer-then-compute sum."""
+        n_tokens = 4096
+        ctx_bytes = prefetcher._context_bytes(n_tokens)
+        chunk_bytes = 64 * prefetcher.config.hidden_bytes_per_token_layer
+        all_hidden_transfer = prefetcher.backend.array.read_time(ctx_bytes, chunk_bytes)
+        result = prefetcher.restore("sess", n_tokens)
+        assert result.tier == "ssd"
+        profile = prefetcher._profile_for_tier(n_tokens, "ssd")
+        scheme = prefetcher._scheduler.schedule(profile).scheme
+        config = prefetcher.config
+        transfer = all_hidden_transfer * (
+            (scheme.n_hidden + 2 * scheme.n_kv) / config.n_layers
+        )
+        serial_ceiling = (
+            transfer
+            + profile.compute_hidden * scheme.n_hidden
+            + profile.compute_token * scheme.n_recompute
+        )
+        assert transfer * 0.99 <= result.chunk_pipelined_s <= serial_ceiling * 1.01
+
+    def test_warm_chunk_pipeline_faster_than_cold(self, prefetcher):
+        cold = prefetcher.restore("cold", 2048)
+        prefetcher.finish_round("warm", 2048)
+        warm = prefetcher.restore("warm", 2048)
+        assert warm.chunk_pipelined_s < cold.chunk_pipelined_s
+
 
 class TestCapacityPressure:
     def test_eviction_under_pressure(self, seven_b):

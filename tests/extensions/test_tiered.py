@@ -64,6 +64,53 @@ class TestPrefetch:
         with pytest.raises(ConfigError):
             backend.prefetch("doc", 0)
 
+    def test_resident_prefetch_is_free(self, backend):
+        """Regression: re-warming a DRAM-resident context (every
+        ``finish_round`` after a warm read) must not report the full
+        SSD-to-DRAM copy cost again."""
+        backend.read("doc", 50 * MB, 1 * MB)  # promotes
+        assert backend.prefetch("doc", 50 * MB) == 0.0
+
+    def test_prefetch_after_prefetch_is_free(self, backend):
+        first = backend.prefetch("doc", 50 * MB)
+        assert first > 0
+        assert backend.prefetch("doc", 50 * MB) == 0.0
+
+    def test_grown_resident_context_pays_only_the_delta(self, backend):
+        backend.prefetch("doc", 50 * MB)
+        delta_time = backend.prefetch("doc", 60 * MB)
+        cold_time = backend.prefetch("other", 60 * MB)
+        assert 0 < delta_time < cold_time
+
+    def test_resident_prefetch_keeps_recency(self, backend):
+        backend.read("a", 200 * MB, 1 * MB)
+        backend.read("b", 200 * MB, 1 * MB)
+        backend.prefetch("a", 200 * MB)  # refreshes a's recency
+        backend.read("c", 200 * MB, 1 * MB)  # evicts b, the LRU entry
+        assert backend.is_resident("a")
+        assert not backend.is_resident("b")
+
+
+class TestStreamedRead:
+    def test_chunk_times_sum_to_whole_read(self, backend):
+        streamed = backend.read_streamed("doc", 100 * MB, 1 * MB)
+        assert streamed.tier == "ssd"
+        assert streamed.n_chunks == 100
+        fresh = TieredBackend(backend.array, dram_capacity_bytes=512 * MB)
+        whole = fresh.read("doc2", 100 * MB, 1 * MB)
+        assert streamed.seconds == pytest.approx(whole.seconds)
+
+    def test_warm_stream_uses_dram_chunks(self, backend):
+        backend.read("doc", 64 * MB, 1 * MB)
+        streamed = backend.read_streamed("doc", 64 * MB, 1 * MB)
+        assert streamed.tier == "dram"
+        assert all(s > 0 for s in streamed.chunk_seconds)
+
+    def test_ragged_final_chunk(self, backend):
+        streamed = backend.read_streamed("doc", 10 * MB + 512, 1 * MB)
+        assert streamed.n_chunks == 11
+        assert streamed.chunk_seconds[-1] < streamed.chunk_seconds[0]
+
 
 class TestAccounting:
     def test_hit_ratio(self, backend):

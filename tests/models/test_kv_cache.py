@@ -97,6 +97,28 @@ class TestInstallAndPacking:
         with pytest.raises(ConfigError):
             cache.install_packed(0, np.zeros((3, 7)))
 
+    def test_install_packed_rows_chunked_roundtrip(self, tiny_config):
+        """Chunk-granular packed installs equal one whole-layer install."""
+        cache = KVCache(tiny_config)
+        k, v = kv_rows(tiny_config, 11, seed=4)
+        cache.append(1, k, v)
+        packed = cache.packed_layer(1)
+        other = KVCache(tiny_config)
+        other.install_view(1, 11)
+        for start in range(0, 11, 4):
+            stop = min(start + 4, 11)
+            other.install_packed_rows(1, start, packed[start:stop])
+        got_k, got_v = other.get(1)
+        assert np.array_equal(got_k, k)
+        assert np.array_equal(got_v, v)
+
+    def test_install_packed_rows_outside_live_region_rejected(self, tiny_config):
+        cache = KVCache(tiny_config)
+        cache.install_view(0, 4)
+        packed = np.zeros((3, 2 * tiny_config.kv_size), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            cache.install_packed_rows(0, 2, packed)
+
 
 class TestEvictionAndComparison:
     def test_truncate(self, tiny_config):

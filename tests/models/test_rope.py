@@ -75,3 +75,68 @@ class TestApplyRope:
     def test_angles_shape(self):
         angles = rope_angles(np.arange(5), 16)
         assert angles.shape == (5, 8)
+
+
+class TestFusedRotations:
+    """The restoration pipeline's allocation-free rotation variants must
+    stay bit-identical to apply_rope."""
+
+    def _inputs(self, n=97, heads=4, head_dim=16, seed=4):
+        from repro.models.rope import rope_cos_sin
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, heads, head_dim)).astype(np.float32)
+        positions = np.arange(n)
+        cos, sin = rope_cos_sin(positions, head_dim)
+        return x, positions, cos, sin
+
+    def test_rotate_into_bit_exact(self):
+        from repro.models.rope import rope_rotate_into
+
+        x, positions, cos, sin = self._inputs()
+        plain = np.empty_like(x)
+        rope_rotate_into(x, cos, sin, out=plain)
+        assert np.array_equal(plain, apply_rope(x, positions))
+
+    def test_fullwidth_rotation_bit_exact(self):
+        from repro.models.rope import rope_rotate_fullwidth_into, rope_rotation_tables
+
+        x, positions, _, _ = self._inputs()
+        c, s = rope_rotation_tables(positions, 16, n_heads=4)
+        assert c.shape == (97, 4, 16) and s.shape == (97, 4, 16)
+        out = np.empty_like(x)
+        rope_rotate_fullwidth_into(x, c, s, out=out, swap=np.empty_like(x))
+        assert np.array_equal(out, apply_rope(x, positions))
+
+    def test_fullwidth_sliced_chunks_bit_exact(self):
+        from repro.models.rope import rope_rotate_fullwidth_into, rope_rotation_tables
+
+        x, positions, _, _ = self._inputs()
+        c, s = rope_rotation_tables(positions, 16, n_heads=4)
+        out = np.empty_like(x)
+        swap = np.empty((32, 4, 16), np.float32)
+        for start in range(0, 97, 32):
+            stop = min(start + 32, 97)
+            rope_rotate_fullwidth_into(
+                x[start:stop], c[start:stop], s[start:stop],
+                out=out[start:stop], swap=swap[: stop - start],
+            )
+        assert np.array_equal(out, apply_rope(x, positions))
+
+    def test_fullwidth_rejects_aliasing_and_bad_shapes(self):
+        from repro.models.rope import rope_rotate_fullwidth_into, rope_rotation_tables
+
+        x, positions, _, _ = self._inputs(n=8)
+        c, s = rope_rotation_tables(positions[:8], 16, n_heads=4)
+        with pytest.raises(ConfigError):
+            rope_rotate_fullwidth_into(x, c, s, out=x, swap=np.empty_like(x))
+        with pytest.raises(ConfigError):
+            rope_rotate_fullwidth_into(
+                x, c, s, out=np.empty_like(x), swap=np.empty((2, 4, 16), np.float32)
+            )
+
+    def test_rotation_tables_reject_bad_heads(self):
+        from repro.models.rope import rope_rotation_tables
+
+        with pytest.raises(ConfigError):
+            rope_rotation_tables(np.arange(4), 16, n_heads=0)
