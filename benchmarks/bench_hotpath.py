@@ -22,6 +22,16 @@ against the preserved pre-refactor baseline
    storage-integrated chunk-streamed ``HCacheEngine.restore`` with its
    per-stage (read / norm / GEMM / RoPE) breakdown.  Restored caches are
    checked bit-exact against the naive path.
+4. **threaded restore** — wall-clock of the ``repro.runtime``
+   :class:`RestoreExecutor` (background IO workers) vs the
+   single-threaded streamed path, both run with **device latency
+   emulation** on (the simulated devices sleep their modelled IO
+   seconds, so reads cost real wall clock and overlapping them with
+   projections is a real win, not an accounting one).  The threaded wall
+   clock is recorded next to the ``modelled_pipelined_s`` §4.1 makespan
+   and their ratio (``gap_ratio``) is the tracked regression surface:
+   it should stay near 1, and within the 1.5x acceptance band at 4k
+   tokens.  Threaded restores are checked bit-exact too.
 
 Results are printed and written to ``BENCH_hotpath.json`` at the repo
 root (``--smoke`` runs a reduced-window subset — still including the
@@ -53,8 +63,34 @@ from repro.models.reference import (
     naive_scaled_dot_product_attention,
 )
 from repro.models.transformer import Transformer
+from repro.runtime import RestoreExecutor
 from repro.simulator import platform_preset
+from repro.simulator.hardware import GB, SSDSpec
+from repro.storage.array import StorageArray
 from repro.storage.manager import StorageManager
+
+#: IO worker pool used for the threaded-restore comparison.  Size 1 is
+#: deliberately conservative: it is the honest setting for single-core
+#: CI hosts (the workers' sleeps and memcpys overlap the main thread's
+#: projections either way) and larger pools only help further.
+THREADED_POOL_SIZE = 1
+
+#: Storage device for the threaded-restore comparison.  The tiny bench
+#: model's projection compute dwarfs the default 4xPM9A3 array's read
+#: time (IO is ~12% of the restore), which is NOT the regime the §4.1
+#: pipeline exists for — the paper's premise is state transmission
+#: *comparable* to compute (IO_H ~ C_H; cf. the Fig. 12 "balanced"
+#: platform).  This slower device puts the bench model in that balanced
+#: regime, so the threaded/single comparison measures the overlap where
+#: it matters.  The modelled makespans come from the same per-chunk
+#: receipts that latency emulation sleeps, keeping wall clock and model
+#: directly comparable.
+BALANCED_BENCH_SSD = SSDSpec(
+    name="bench-balanced",
+    read_bandwidth=0.4 * GB,
+    write_bandwidth=1.0 * GB,
+    io_latency=20e-6,
+)
 
 #: Small enough to execute thousands of real decode steps, big enough that
 #: the O(history) copies of the naive path dominate at 4k tokens.
@@ -285,6 +321,59 @@ def bench_restore(model: Transformer, n_tokens: int) -> dict:
         "modelled_pipelined_s": breakdown.modelled_pipelined_s,
     }
 
+    # Threaded executor vs single-threaded, both under device latency
+    # emulation: modelled IO seconds become real (GIL-releasing) sleeps,
+    # so the background workers' reads genuinely overlap the main
+    # thread's projections and the comparison is wall clock on any host.
+    # The state is re-saved onto the bandwidth-balanced array so the
+    # bench model sits in the IO_H ~ C_H regime (see BALANCED_BENCH_SSD).
+    balanced_array = StorageArray([BALANCED_BENCH_SSD], link_bandwidth=32 * GB)
+    balanced_manager = StorageManager(balanced_array)
+    balanced_engine = HCacheEngine(model, balanced_manager)
+    balanced_engine.register_context("bench")
+    for start in range(0, n_tokens, block):
+        stop = min(start + block, n_tokens)
+        balanced_engine.save_states(
+            "bench", [h[start:stop] for h in hidden], tokens[start:stop]
+        )
+    balanced_engine.seal("bench")
+    emulator = balanced_array.emulate_latency()
+    try:
+        # Each timed window flushes the emulator's sub-quantum remainder
+        # inside itself, so every measurement pays exactly its own
+        # modelled IO and no debt leaks into the next rep.
+        def restore_and_flush(executor=None):
+            result = balanced_engine.restore("bench", executor=executor)
+            emulator.flush()
+            return result
+
+        single_emu, single_emu_s = best_of(restore_and_flush)
+        with RestoreExecutor(THREADED_POOL_SIZE) as executor:
+            threaded_emu, threaded_emu_s = best_of(
+                lambda: restore_and_flush(executor)
+            )
+            threaded_stats = RestoreBreakdown()
+            balanced_engine.restore("bench", stats=threaded_stats, executor=executor)
+            emulator.flush()
+    finally:
+        balanced_array.stop_latency_emulation()
+    threaded_bit_exact = threaded_emu.equals(fast_cache, atol=0.0) and single_emu.equals(
+        fast_cache, atol=0.0
+    )
+    bit_exact = bit_exact and threaded_bit_exact
+    pipelined_s = threaded_stats.modelled_pipelined_s
+    threaded = {
+        "pool_size": THREADED_POOL_SIZE,
+        "single_emulated_s": single_emu_s,
+        "threaded_emulated_s": threaded_emu_s,
+        "speedup": single_emu_s / threaded_emu_s,
+        "modelled_pipelined_s": pipelined_s,
+        "modelled_serial_s": threaded_stats.modelled_serial_s,
+        "gap_ratio": threaded_emu_s / pipelined_s if pipelined_s else float("inf"),
+        "exposed_read_stall_s": threaded_stats.read_s,
+        "bit_exact": bool(threaded_bit_exact),
+    }
+
     return {
         "n_tokens": n_tokens,
         "naive_project_s": naive_s,
@@ -292,6 +381,7 @@ def bench_restore(model: Transformer, n_tokens: int) -> dict:
         "speedup": naive_s / fast_s,
         "engine_restore_s": engine_s,
         "stages": stages,
+        "threaded": threaded,
         "bit_exact": bool(bit_exact),
     }
 
@@ -305,7 +395,7 @@ def run(sizes: list[int], window: int) -> dict:
     model = Transformer.from_seed(BENCH_CONFIG, seed=7)
     bench_restore(model, 64)  # warmup: projection stacks, BLAS threads
     report = {
-        "schema": "bench_hotpath/v2",
+        "schema": "bench_hotpath/v3",
         "config": {
             "name": BENCH_CONFIG.name,
             "n_layers": BENCH_CONFIG.n_layers,
@@ -327,6 +417,7 @@ def run(sizes: list[int], window: int) -> dict:
         report["decode_e2e"][str(n)] = e2e
         report["restore"][str(n)] = restore
         stages = restore["stages"]
+        threaded = restore["threaded"]
         print(
             f"n={n:5d}  state-path {state['speedup']:7.1f}x "
             f"({state['naive_tok_s']:9.1f} -> {state['fast_tok_s']:11.1f} tok/s)  "
@@ -334,13 +425,18 @@ def run(sizes: list[int], window: int) -> dict:
             f"restore {restore['speedup']:5.1f}x "
             f"(engine {restore['engine_restore_s'] * 1e3:7.2f} ms, "
             f"elementwise {stages['elementwise_share'] * 100:4.1f}%, "
-            f"bit_exact={restore['bit_exact']})"
+            f"bit_exact={restore['bit_exact']})  "
+            f"threaded {threaded['speedup']:4.2f}x vs single "
+            f"({threaded['threaded_emulated_s'] * 1e3:6.2f} ms wall, "
+            f"pipelined model {threaded['modelled_pipelined_s'] * 1e3:6.2f} ms, "
+            f"gap {threaded['gap_ratio']:4.2f}x)"
         )
     largest = str(max(sizes))
     headline = report["decode_with_capture"][largest]["speedup"]
     # The 10x acceptance target is defined at 4k tokens; smoke runs at
     # smaller sizes only check that the harness and numerics hold up.
     target_applies = max(sizes) >= 4096
+    threaded_head = report["restore"][largest]["threaded"]
     report["headline"] = {
         "metric": "decode_with_capture_state_path_speedup",
         "at_tokens": max(sizes),
@@ -350,6 +446,23 @@ def run(sizes: list[int], window: int) -> dict:
         "all_restores_bit_exact": bool(
             all(r["bit_exact"] for r in report["restore"].values())
         ),
+        # Threaded-restore acceptance (defined at 4k like the 10x floor):
+        # faster than the single-threaded streamed path, and wall clock
+        # within 1.5x of the §4.1 pipelined makespan.
+        "threaded_restore": {
+            "at_tokens": max(sizes),
+            "speedup_vs_single": threaded_head["speedup"],
+            "gap_ratio": threaded_head["gap_ratio"],
+            "gap_target": 1.5 if target_applies else None,
+            "met": (
+                bool(
+                    threaded_head["speedup"] > 1.0
+                    and threaded_head["gap_ratio"] <= 1.5
+                )
+                if target_applies
+                else None
+            ),
+        },
     }
     gate = (
         f"target 10x, met={report['headline']['met']}"
@@ -358,7 +471,10 @@ def run(sizes: list[int], window: int) -> dict:
     )
     print(
         f"headline: {headline:.1f}x decode-with-capture state path at "
-        f"{largest} tokens ({gate})"
+        f"{largest} tokens ({gate}); threaded restore "
+        f"{threaded_head['speedup']:.2f}x vs single, "
+        f"{threaded_head['gap_ratio']:.2f}x of pipelined model "
+        f"(met={report['headline']['threaded_restore']['met']})"
     )
     return report
 
@@ -389,6 +505,14 @@ def main() -> int:
         return 1
     if report["headline"]["met"] is False:
         print("ERROR: decode-with-capture speedup target missed", file=sys.stderr)
+        return 1
+    if report["headline"]["threaded_restore"]["met"] is False:
+        print(
+            "ERROR: threaded restore missed its gate (must beat the "
+            "single-threaded path and stay within 1.5x of the pipelined "
+            "makespan at 4k tokens)",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

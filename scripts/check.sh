@@ -1,25 +1,37 @@
 #!/usr/bin/env bash
-# Local gate: bytecode-compile, tier-1 tests, hot-path benchmark smoke.
+# Local gate: bytecode-compile, tier-1 tests, doc freshness, hot-path
+# benchmark smoke.
 #
 # Run this before sending a PR.  The compileall pass catches syntax-level
-# breakage in modules no test imports.  The smoke benchmark executes the
-# same code paths as the committed BENCH_hotpath.json (decode-with-capture
-# state path, end-to-end decode, chunk-streamed restore) at a reduced
-# window but still including the 4096-token gate size, so it *asserts*
-# the PR-1 speedup floor (decode-with-capture state path >= 10x naive at
-# 4k tokens) and that the streamed restore stays bit-exact vs the naive
-# reference — hot-path regressions fail here before the numbers drift.
+# breakage in modules no test imports.  The doc check keeps README.md's
+# module map pointing at packages that actually exist (and vice versa).
+# The smoke benchmark executes the same code paths as the committed
+# BENCH_hotpath.json (decode-with-capture state path, end-to-end decode,
+# chunk-streamed restore, threaded restore under latency emulation) at a
+# reduced window but still including the 4096-token gate size, so it
+# *asserts*:
+#   - the PR-1 speedup floor (decode-with-capture state path >= 10x
+#     naive at 4k tokens),
+#   - that every restore flavor — including the PR-3 threaded executor —
+#     stays bit-exact vs the naive reference,
+#   - the PR-3 threaded-restore gate (faster than the single-threaded
+#     streamed path, wall clock within 1.5x of the modelled pipelined
+#     makespan at 4k tokens).
+# Hot-path regressions fail here before the committed numbers drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== bytecode compile =="
-python -m compileall -q src benchmarks
+python -m compileall -q src benchmarks scripts
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== hot-path benchmark (smoke gate: bit-exact + >= 10x floor at 4k) =="
+echo "== doc freshness (README module map vs src/repro) =="
+python scripts/check_docs.py
+
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor + 1.5x pipeline gap at 4k) =="
 python benchmarks/bench_hotpath.py --smoke
 
 echo "all checks passed"

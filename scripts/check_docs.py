@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Doc-freshness gate: the docs must describe the tree that exists.
+
+Checks, without importing the package:
+
+1. ``README.md`` and ``docs/ARCHITECTURE.md`` exist.
+2. Every module the README's module-map table names (the first
+   backticked cell of each ``| `name` | ...`` row) exists under
+   ``src/repro/`` as a package or module.
+3. The converse: every subpackage of ``src/repro/`` appears somewhere in
+   the README, so new packages can't ship undocumented.
+4. Cross-references used by the quickstart (``scripts/check.sh``,
+   ``benchmarks/README.md``, the example scripts) resolve.
+
+Exits non-zero with a list of stale references; run by ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def module_map_entries(readme_text: str) -> list[str]:
+    """First backticked cell of each module-map table row."""
+    entries = []
+    for line in readme_text.splitlines():
+        match = re.match(r"\|\s*`([A-Za-z_][A-Za-z0-9_.]*)`\s*\|", line)
+        if match:
+            entries.append(match.group(1))
+    return entries
+
+
+def main() -> int:
+    problems: list[str] = []
+    readme = ROOT / "README.md"
+    architecture = ROOT / "docs" / "ARCHITECTURE.md"
+    for doc in (readme, architecture):
+        if not doc.is_file():
+            problems.append(f"missing document: {doc.relative_to(ROOT)}")
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+
+    readme_text = readme.read_text()
+    package_root = ROOT / "src" / "repro"
+
+    listed = module_map_entries(readme_text)
+    if not listed:
+        problems.append("README.md module map: no `module` table rows found")
+    for name in listed:
+        path = package_root / name
+        if not (path.is_dir() or path.with_suffix(".py").is_file()):
+            problems.append(
+                f"README.md module map names `{name}` but src/repro/{name} does not exist"
+            )
+
+    actual = sorted(
+        p.name
+        for p in package_root.iterdir()
+        if p.is_dir() and (p / "__init__.py").is_file()
+    )
+    for name in actual:
+        if f"`{name}`" not in readme_text:
+            problems.append(
+                f"src/repro/{name} exists but README.md's module map never mentions `{name}`"
+            )
+
+    for ref in ("scripts/check.sh", "benchmarks/README.md", "docs/ARCHITECTURE.md"):
+        if ref in readme_text and not (ROOT / ref).exists():
+            problems.append(f"README.md references missing path {ref}")
+    for match in re.finditer(r"`examples/([a-z0-9_]+\.py)`", readme_text):
+        name = match.group(1)
+        if not (ROOT / "examples" / name).is_file():
+            problems.append(f"README.md references missing example examples/{name}")
+
+    if problems:
+        print("doc-freshness check failed:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"doc-freshness ok: {len(listed)} module-map entries verified, "
+        f"{len(actual)} subpackages all documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

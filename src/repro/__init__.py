@@ -11,6 +11,8 @@ Reproduction of *Fast State Restoration in LLM Serving with HCache*
   the paper's GPU/SSD testbed.
 - :mod:`repro.storage` — chunked host storage substrate.
 - :mod:`repro.engine` — serving engines (timing simulation + numeric).
+- :mod:`repro.runtime` — threaded restore executor + shared IO worker
+  pool (real wall-clock IO/compute overlap).
 - :mod:`repro.baselines` — token recomputation, KV offload, naive hybrid,
   and the ideal lower bound.
 - :mod:`repro.traces` — ShareGPT4/L-Eval-shaped workload generators.
@@ -39,6 +41,7 @@ from repro.core import (
 )
 from repro.engine import NumericServingEngine, ServingSimulator
 from repro.models import KVCache, ModelConfig, Transformer, model_preset
+from repro.runtime import IOWorkerPool, RestoreExecutor
 from repro.simulator import Platform, platform_preset
 from repro.storage import StorageManager
 
@@ -48,6 +51,7 @@ __all__ = [
     "BubbleFreeScheduler",
     "HCacheEngine",
     "HCacheMethod",
+    "IOWorkerPool",
     "IdealMethod",
     "KVCache",
     "KVOffloadMethod",
@@ -57,6 +61,7 @@ __all__ = [
     "PartitionScheme",
     "Platform",
     "RecomputationMethod",
+    "RestoreExecutor",
     "ServingSimulator",
     "StorageManager",
     "Transformer",

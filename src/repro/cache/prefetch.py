@@ -55,13 +55,19 @@ class PrefetchingHCache:
         config: ModelConfig,
         platform: Platform,
         dram_capacity_bytes: int = 64 * 1024**3,
+        io_parallelism: int = 1,
     ) -> None:
+        """``io_parallelism`` is forwarded to the :class:`TieredBackend`:
+        it models the shared restore IO worker pool keeping that many
+        chunk reads in flight on the SSD tier, which amortizes per-IO
+        latency in the warm/cold timing this class reports."""
         self.config = config
         self.platform = platform
         self.backend = TieredBackend(
             build_storage_array(platform),
             dram_capacity_bytes=dram_capacity_bytes,
             link_bandwidth=platform.gpu.pcie_bandwidth * platform.n_gpus,
+            io_parallelism=io_parallelism,
         )
         self._scheduler = BubbleFreeScheduler(config.n_layers)
 

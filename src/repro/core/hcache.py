@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from repro.simulator.hardware import Platform
 from repro.simulator.pipeline import LayerMethod
 from repro.storage.manager import StorageManager
 from repro.storage.streaming import pipelined_makespan
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.runtime.executor import RestoreExecutor
 
 
 @dataclass
@@ -168,6 +172,15 @@ class HCacheEngine:
     ) -> None:
         """Persist newly generated states for a block of tokens.
 
+        Bit-exactness contract: the bytes stored here are snapshots of the
+        arrays passed in (devices copy on write), and every restore flavor
+        — naive reference, whole-layer batched, chunk-streamed, threaded —
+        returns HIDDEN layers projected from, and KV layers equal to,
+        exactly these bytes.  Threading rules: saving is single-threaded
+        and must never run concurrently with a restore *of the same
+        context* (tail buffers and device key sets would race); saving one
+        context while other contexts restore is fine.
+
         Args:
             context_id: The context the block extends.
             hidden_states: Per-layer ``(n_new, hidden)`` arrays — the
@@ -243,6 +256,7 @@ class HCacheEngine:
         context_id: str,
         reserve_tokens: int = 0,
         stats: RestoreBreakdown | None = None,
+        executor: "RestoreExecutor | None" = None,
     ) -> KVCache:
         """Rebuild the context's full KV cache, chunk-streamed (§4.1).
 
@@ -255,16 +269,32 @@ class HCacheEngine:
         read is issued before the pending granule is projected, so in the
         modelled timeline layer *k*'s projection overlaps layer *k+1*'s
         read — compute starts at IO start, which is exactly what the
-        serving simulator's ``request_io_start`` assumes.  HIDDEN and KV
-        layers come back bit-identical to the states that were saved; a
-        RECOMPUTE prefix replays the forward pass as one block, which
-        matches incrementally-decoded originals to float rounding (the
-        same GEMM-blocking caveat as restoring any decode-produced state).
+        serving simulator's ``request_io_start`` assumes.
+
+        With ``executor`` (a :class:`repro.runtime.RestoreExecutor`), the
+        granule reads actually run on background IO workers while this
+        thread projects, making the overlap real wall clock instead of
+        only modelled; the default stays single-threaded.  Threading
+        rules: all projection compute runs on the calling thread in the
+        single-threaded granule order, workers only fill staging slots
+        they own, and concurrent ``restore`` calls are safe for
+        *distinct* contexts sharing one executor (never concurrently with
+        a save of the same context).
+
+        Bit-exactness contract: HIDDEN and KV layers come back
+        bit-identical to the states that were saved — for every granule
+        size, pool size, and executor setting, and identical to the naive
+        whole-layer reference path.  A RECOMPUTE prefix replays the
+        forward pass as one block, which matches incrementally-decoded
+        originals to float rounding (the same GEMM-blocking caveat as
+        restoring any decode-produced state).
 
         ``reserve_tokens`` lets the serving engine size the cache for the
         upcoming round up front, so the restored history never has to be
         recopied by a post-restore capacity growth.  ``stats`` (optional)
-        collects the per-stage :class:`RestoreBreakdown`.
+        collects the per-stage :class:`RestoreBreakdown`; in threaded
+        runs its ``read_s`` is the *exposed* IO stall (reads the pipeline
+        failed to hide) rather than total read time.
         """
         n_tokens = self.saved_tokens(context_id)
         if n_tokens == 0:
@@ -316,7 +346,7 @@ class HCacheEngine:
 
             self._drain_stream(
                 context_id, hidden_layers, "hidden", project_hidden,
-                stats, io_times, compute_times,
+                stats, io_times, compute_times, executor,
             )
         if kv_layers:
             for layer in kv_layers:
@@ -330,7 +360,7 @@ class HCacheEngine:
 
             self._drain_stream(
                 context_id, kv_layers, "kv", install_kv,
-                stats, io_times, compute_times,
+                stats, io_times, compute_times, executor,
             )
         if timed:
             stats.modelled_io_s = sum(io_times)
@@ -354,6 +384,7 @@ class HCacheEngine:
         stats: RestoreBreakdown | None,
         io_times: list[float],
         compute_times: list[float],
+        executor: "RestoreExecutor | None" = None,
     ) -> None:
         """Double-buffered drain of a chunk stream.
 
@@ -363,7 +394,18 @@ class HCacheEngine:
         Wall-clock read/compute per granule is recorded when ``stats``
         is given, along with the modelled device seconds that feed the
         pipelined-makespan accounting.
+
+        With an ``executor`` the drain is delegated to its IO worker
+        pool: same granule order, same consume calls on this thread, but
+        the reads run in the background.
         """
+        if executor is not None:
+            executor.drain(
+                self.storage, context_id, layers, kind,
+                self.stream_granule_chunks, consume,
+                stats, io_times, compute_times,
+            )
+            return
         timed = stats is not None
         ring = self.storage.staging_ring(
             context_id, kind, depth=2, granule_chunks=self.stream_granule_chunks

@@ -113,16 +113,31 @@ class BubbleFreeScheduler:
         saves) fall back to the better pure scheme — on the full pipeline
         model and keeps the best, mirroring how the real system would
         re-profile around the analytic answer.
+
+        The *other* regime's pure endpoint is also evaluated: on a
+        compute-bound platform the regime complement is KV offload, but
+        when token recompute is cheaper than the projection itself
+        (``C_token < C_H`` — outside the paper's studied regime, where a
+        full-layer forward always dwarfs the two projection GEMMs) no
+        KV/hidden mix can beat simply recomputing every layer, so pure
+        recompute joins the candidate set (and symmetrically pure KV on
+        IO-bound platforms).  Mixed cross-regime complements stay out of
+        scope: within either regime's own cost model the mixed optimum is
+        already covered by the closed form plus these endpoints.
         """
         l_h = self.closed_form_l_h(profile)
         candidates = {
             max(0, min(self.n_layers, l))
             for l in (l_h - 1, l_h, l_h + 1, 0, self.n_layers)
         }
+        schemes = [self._scheme_for(profile, candidate) for candidate in sorted(candidates)]
+        if profile.compute_bound:
+            schemes.append(PartitionScheme.with_recompute_prefix(self.n_layers, self.n_layers))
+        else:
+            schemes.append(PartitionScheme.with_kv_suffix(self.n_layers, self.n_layers))
         best_scheme: PartitionScheme | None = None
         best_makespan = math.inf
-        for candidate in sorted(candidates):
-            scheme = self._scheme_for(profile, candidate)
+        for scheme in schemes:
             makespan = evaluate_scheme(scheme, profile)
             if makespan < best_makespan - 1e-12:
                 best_scheme, best_makespan = scheme, makespan

@@ -18,7 +18,16 @@ from repro.errors import StateError
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Immutable per-request measurement."""
+    """Immutable per-request measurement.
+
+    ``restore_started_at`` is when the request's restoration IO job got a
+    channel; minus the admission time, that is the queueing delay on the
+    shared restore IO path — the contention signal
+    ``EngineConfig.restore_io_parallelism`` exists to tune.  For requests
+    that needed no restoration (no history, ideal method, or a zero-IO
+    restore) it equals the admission time; use ``restore_seconds == 0``
+    to identify them.
+    """
 
     request_id: str
     session_id: str
@@ -27,6 +36,7 @@ class RequestRecord:
     tbt: float
     queue_delay: float
     restore_seconds: float
+    restore_started_at: float
     output_tokens: int
     finished_at: float
 
@@ -77,6 +87,7 @@ class MetricsCollector:
             tbt=request.tbt,
             queue_delay=queue_delay,
             restore_seconds=restore,
+            restore_started_at=request.restore_started_at,
             output_tokens=request.spec.output_tokens,
             finished_at=request.finished_at,
         )

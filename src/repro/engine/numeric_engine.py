@@ -12,6 +12,7 @@ which is the paper's losslessness claim in executable form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.errors import ConfigError, StateError
 from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache
 from repro.models.transformer import Transformer
+from repro.runtime.executor import RestoreExecutor
 
 
 @dataclass
@@ -44,11 +46,26 @@ class SessionState:
 class NumericServingEngine:
     """Executes stateful multi-round generation with HCache restoration."""
 
-    def __init__(self, transformer: Transformer, hcache: HCacheEngine) -> None:
+    def __init__(
+        self,
+        transformer: Transformer,
+        hcache: HCacheEngine,
+        executor: RestoreExecutor | None = None,
+    ) -> None:
+        """Wrap a transformer and its HCache engine.
+
+        ``executor`` (optional) is a shared :class:`RestoreExecutor`:
+        every restoration this engine performs then overlaps its storage
+        reads with projection compute on the executor's IO worker pool,
+        and :meth:`restore_sessions` brings several evicted sessions back
+        concurrently through that one pool.  Restored values are
+        bit-identical either way.
+        """
         if hcache.transformer is not transformer:
             raise ConfigError("HCache engine must wrap the same transformer")
         self.transformer = transformer
         self.hcache = hcache
+        self.executor = executor
         self._sessions: dict[str, SessionState] = {}
 
     def open_session(self, session_id: str) -> SessionState:
@@ -89,7 +106,9 @@ class NumericServingEngine:
         round_tokens = len(state.tokens) + prompt_tokens.size + n_output_tokens
         if not state.on_gpu:
             if state.tokens:
-                state.kv_cache = self.hcache.restore(session_id, reserve_tokens=round_tokens)
+                state.kv_cache = self.hcache.restore(
+                    session_id, reserve_tokens=round_tokens, executor=self.executor
+                )
             else:
                 state.kv_cache = KVCache(self.transformer.config)
         cache = state.kv_cache
@@ -123,6 +142,43 @@ class NumericServingEngine:
             state.tokens.append(token)
             logits = step.logits[-1]
         return generated
+
+    def restore_sessions(
+        self, session_ids: Sequence[str], reserve_tokens: int = 0
+    ) -> None:
+        """Bring several evicted sessions back onto the GPU at once.
+
+        The serving-layer admission burst: when a batch of requests with
+        evicted history is admitted together, their restorations contend
+        for one IO path.  With a shared :class:`RestoreExecutor` the
+        sessions restore concurrently through its worker pool (each one
+        still projecting in deterministic granule order); without one
+        they restore sequentially.  Either way every session's cache is
+        bit-identical to an individual ``chat_round`` restore.
+
+        ``reserve_tokens`` (the expected context length after the
+        upcoming round, when the caller knows it) sizes each restored
+        cache up front so the history is not recopied by the first
+        post-restore growth — the same reservation ``chat_round`` makes
+        for its own restores.
+        """
+        states = []
+        for session_id in session_ids:
+            state = self.session(session_id)
+            if state.on_gpu:
+                raise StateError(f"session {session_id!r} is already on the GPU")
+            if not state.tokens:
+                raise StateError(f"session {session_id!r} has no history to restore")
+            states.append(state)
+        if self.executor is not None:
+            caches = self.executor.restore_contexts(
+                self.hcache, [s.session_id for s in states], reserve_tokens
+            )
+            for state in states:
+                state.kv_cache = caches[state.session_id]
+        else:
+            for state in states:
+                state.kv_cache = self.hcache.restore(state.session_id, reserve_tokens)
 
     def evict(self, session_id: str) -> None:
         """Drop a session's GPU state; host storage keeps everything."""

@@ -10,7 +10,8 @@ simulation:
   chunks of pending prefills; its duration comes from the decode bandwidth
   model plus the chunk compute.
 - Restoration is split into an **IO job** (serialized on the PCIe/storage
-  path, overlapping decode compute) and **compute work** (consumed inside
+  path — or spread over ``restore_io_parallelism`` channels modelling the
+  shared IO worker pool — overlapping decode compute) and **compute work** (consumed inside
   iterations under the same token budget, contending with decode — which
   is why recomputation hurts TBT and TTFT while KV offload hurts only
   TTFT, and why HCache's small projection cost leaves TBT within a few
@@ -51,12 +52,20 @@ class EngineConfig:
         activation_reserve: HBM fraction reserved for activations.
         max_running: Concurrency cap of the running batch.
         max_sim_seconds: Safety horizon; the run aborts past it.
+        restore_io_parallelism: Concurrent restoration IO channels — the
+            timing-model counterpart of the numeric engines' shared
+            :class:`repro.runtime.IOWorkerPool`.  With 1 (the default,
+            and the paper's single PCIe/storage path) restoration IO jobs
+            serialize behind each other; with ``k`` an admitted burst of
+            ``k`` restores starts transferring at once and only the
+            ``k+1``-th waits.
     """
 
     budget_tokens: int = 512
     activation_reserve: float = 0.05
     max_running: int = 256
     max_sim_seconds: float = 24 * 3600.0
+    restore_io_parallelism: int = 1
 
 
 class ServingSimulator:
@@ -82,7 +91,10 @@ class ServingSimulator:
         self._prefill_sec_per_token = flops_per_token / (
             platform.total_flops * platform.prefill_efficiency
         )
-        self._io_free_at = 0.0
+        if self.engine_config.restore_io_parallelism < 1:
+            raise ConfigError("restore_io_parallelism must be at least 1")
+        #: One entry per restoration IO channel: when it frees up next.
+        self._io_free_at = [0.0] * self.engine_config.restore_io_parallelism
         self._now = 0.0
         self.metrics = MetricsCollector()
         self._finished_sessions: set[str] = set()
@@ -113,10 +125,15 @@ class ServingSimulator:
             if needs_restore:
                 request.phase = Phase.RESTORING
                 if request.restore_io_remaining > 0:
-                    start = max(self._now, self._io_free_at)
+                    # Earliest-free IO channel; with parallelism 1 this is
+                    # the single serialized PCIe/storage path.
+                    channel = min(
+                        range(len(self._io_free_at)), key=self._io_free_at.__getitem__
+                    )
+                    start = max(self._now, self._io_free_at[channel])
                     request.restore_started_at = start
                     request.restore_io_done_at = start + request.restore_io_remaining
-                    self._io_free_at = request.restore_io_done_at
+                    self._io_free_at[channel] = request.restore_io_done_at
                 else:
                     # Zero-IO restorations (e.g. pure-recompute schemes or
                     # DRAM-warm reads with negligible transfer) never touch

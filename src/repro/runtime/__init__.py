@@ -1,0 +1,26 @@
+"""Concurrency layer for the restore pipeline.
+
+:mod:`repro.runtime` turns the chunk-streamed restoration of §4.1 from a
+structurally overlapped (but single-threaded) pipeline into one whose
+IO/compute overlap is real wall clock:
+
+- :class:`IOWorkerPool` — shareable background threads that fill staging
+  buffers (device ``read_into`` memcpys and emulated-latency sleeps both
+  release the GIL).
+- :class:`RestoreExecutor` — drives ``HCacheEngine.restore`` with that
+  pool: granule reads run ahead on workers while the calling thread
+  projects, in the exact single-threaded order, so every pool size stays
+  bit-exact with the naive reference.  Also restores multiple contexts
+  concurrently through one shared pool for the serving layer.
+
+The single-threaded path remains the default everywhere; pass an executor
+to opt in.  See ``docs/ARCHITECTURE.md`` for the pipeline timeline.
+"""
+
+from repro.runtime.executor import RestoreExecutor
+from repro.runtime.io_pool import IOWorkerPool
+
+__all__ = [
+    "IOWorkerPool",
+    "RestoreExecutor",
+]

@@ -10,9 +10,14 @@ from repro.storage.array import LayerReadTiming, StorageArray
 from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
 from repro.storage.codec import GroupQuantizer, QuantizedBlock, quantization_logit_drift
 from repro.storage.daemon import FlushDaemon, SnapshotOutcome
-from repro.storage.device import IOReceipt, StorageDevice
+from repro.storage.device import IOReceipt, LatencyEmulator, StorageDevice
 from repro.storage.manager import ContextMeta, StorageManager
-from repro.storage.streaming import LayerChunk, StagingRing, pipelined_makespan
+from repro.storage.streaming import (
+    GranuleSpec,
+    LayerChunk,
+    StagingRing,
+    pipelined_makespan,
+)
 from repro.storage.tiered import TieredBackend, TieredReadTiming, TieredStreamTiming
 
 __all__ = [
@@ -24,8 +29,10 @@ __all__ = [
     "ChunkRun",
     "ContextMeta",
     "FlushDaemon",
+    "GranuleSpec",
     "GroupQuantizer",
     "IOReceipt",
+    "LatencyEmulator",
     "LayerChunk",
     "LayerReadTiming",
     "QuantizedBlock",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.simulator.hardware import DRAMSpec, SSDSpec
-from repro.storage.device import StorageDevice
+from repro.storage.device import LatencyEmulator, StorageDevice
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,35 @@ class StorageArray:
             raise ConfigError("link bandwidth must be positive")
         self.devices = [StorageDevice(spec, i) for i, spec in enumerate(specs)]
         self.link_bandwidth = float(link_bandwidth)
+        self._emulator: LatencyEmulator | None = None
+
+    # -- wall-clock latency emulation ----------------------------------
+
+    @property
+    def latency_emulator(self) -> LatencyEmulator | None:
+        """The shared emulator, or ``None`` when emulation is off."""
+        return self._emulator
+
+    def emulate_latency(self, min_sleep_s: float = 1e-3) -> LatencyEmulator:
+        """Make every device sleep its modelled seconds for real.
+
+        All devices share one :class:`LatencyEmulator` — the timing model
+        charges chunk reads to a single serial IO stream, and the shared
+        debt keeps the emulated wall clock faithful to that.  Returns the
+        emulator so callers can :meth:`LatencyEmulator.flush` at the end
+        of a timed region.  Idempotent while already emulating.
+        """
+        if self._emulator is None:
+            self._emulator = LatencyEmulator(min_sleep_s)
+            for device in self.devices:
+                device.emulator = self._emulator
+        return self._emulator
+
+    def stop_latency_emulation(self) -> None:
+        """Detach the emulator; operations become instant again."""
+        self._emulator = None
+        for device in self.devices:
+            device.emulator = None
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -85,7 +114,9 @@ class StorageArray:
         spec = device.spec
         return getattr(spec, "read_bandwidth", None) or spec.bandwidth
 
-    def layer_read_timing(self, n_chunks: int, chunk_bytes: int) -> LayerReadTiming:
+    def layer_read_timing(
+        self, n_chunks: int, chunk_bytes: int, io_parallelism: int = 1
+    ) -> LayerReadTiming:
         """Time to fetch ``n_chunks`` chunks of ``chunk_bytes`` each.
 
         Devices work in parallel.  Because successive layer reads chain on
@@ -97,9 +128,17 @@ class StorageArray:
         floored by a pure link-bandwidth transfer of the same bytes, so a
         fast array degenerates to the PCIe-bound case (§6.2.2: 4 SSDs
         saturate an A100's upstream PCIe).
+
+        ``io_parallelism`` models the restore executor's IO worker pool
+        keeping that many chunk reads in flight per device (NVMe queue
+        depth): overlapped IOs hide per-operation latency — charged on
+        ``ceil(n_ios / io_parallelism)`` serial rounds — but can never
+        exceed device or link bandwidth.
         """
         if n_chunks < 0 or chunk_bytes < 0:
             raise ConfigError("chunk count and size must be non-negative")
+        if io_parallelism < 1:
+            raise ConfigError("io_parallelism must be at least 1")
         if n_chunks == 0:
             return LayerReadTiming(0, 0, 0.0, "device")
         nbytes = n_chunks * chunk_bytes
@@ -109,7 +148,10 @@ class StorageArray:
             n_ios = math.ceil(n_chunks / n_dev)
             share_bytes = n_chunks / n_dev * chunk_bytes
             spec = device.spec
-            latency = n_ios * spec.io_latency if hasattr(spec, "io_latency") else 0.0
+            latency_rounds = math.ceil(n_ios / io_parallelism)
+            latency = (
+                latency_rounds * spec.io_latency if hasattr(spec, "io_latency") else 0.0
+            )
             bw = self._device_read_bw(device)
             device_time = max(device_time, latency + share_bytes / bw)
         link_time = nbytes / self.link_bandwidth
@@ -117,12 +159,12 @@ class StorageArray:
             return LayerReadTiming(n_chunks, nbytes, device_time, "device")
         return LayerReadTiming(n_chunks, nbytes, link_time, "link")
 
-    def read_time(self, nbytes: int, chunk_bytes: int) -> float:
+    def read_time(self, nbytes: int, chunk_bytes: int, io_parallelism: int = 1) -> float:
         """Convenience: striped read time for ``nbytes`` of chunked data."""
         if chunk_bytes <= 0:
             raise ConfigError("chunk_bytes must be positive")
         n_chunks = math.ceil(nbytes / chunk_bytes)
-        return self.layer_read_timing(n_chunks, chunk_bytes).seconds
+        return self.layer_read_timing(n_chunks, chunk_bytes, io_parallelism).seconds
 
     def write_time(self, nbytes: int, chunk_bytes: int) -> float:
         """Striped write time for ``nbytes`` of chunked data."""

@@ -23,7 +23,7 @@ from repro.errors import ConfigError, StateError
 from repro.storage.allocator import ChunkAllocator
 from repro.storage.array import LayerReadTiming, StorageArray
 from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
-from repro.storage.streaming import LayerChunk, StagingRing
+from repro.storage.streaming import GranuleSpec, LayerChunk, StagingRing
 
 
 class _TailBuffer:
@@ -316,6 +316,91 @@ class StorageManager:
             meta.dtype,
         )
 
+    def granule_plan(
+        self,
+        context_id: str,
+        layers: Sequence[int],
+        kind: str = "hidden",
+        granule_chunks: int = 1,
+    ) -> list[GranuleSpec]:
+        """Enumerate the granules a streamed restore of ``layers`` covers.
+
+        Pure metadata — no device is touched.  The specs come back in the
+        exact order :meth:`stream_layers` yields data (layers in the given
+        order, row ranges ascending within each layer), which is the order
+        every consumer — single-threaded or threaded — must project in to
+        stay bit-exact with the reference restore.  The threaded executor
+        walks this plan to submit :meth:`read_granule_into` calls to its
+        IO worker pool ahead of consumption.
+        """
+        if granule_chunks <= 0:
+            raise ConfigError("granule_chunks must be positive")
+        self.meta(context_id)
+        granule = granule_chunks * self.tokens_per_chunk
+        plan: list[GranuleSpec] = []
+        for layer in layers:
+            n_tokens = self.allocator.run(context_id, layer, kind).n_tokens
+            for gstart in range(0, n_tokens, granule):
+                plan.append(
+                    GranuleSpec(
+                        layer=layer,
+                        kind=kind,
+                        start=gstart,
+                        stop=min(gstart + granule, n_tokens),
+                    )
+                )
+        return plan
+
+    def read_granule_into(
+        self, context_id: str, spec: GranuleSpec, out: np.ndarray
+    ) -> tuple[float, int]:
+        """Fill ``out`` with one granule's rows; return ``(io_seconds, reads)``.
+
+        Device-resident chunks are read with :meth:`StorageDevice.read_into`
+        straight into the destination's row slices (one read per chunk, so
+        IO granularity and device busy accounting match :meth:`load_layer`
+        exactly); host-buffered tail rows are slice-copied after them.
+
+        Threading rules: this method is safe to run on an IO worker thread
+        while another thread projects earlier granules — devices are
+        read-only during restoration, the tail buffer is only appended to
+        between restores, and ``out`` (a staging-ring slot slice) is owned
+        by this call until it returns.  What is **not** allowed is saving
+        into the same context concurrently with restoring it; the engine's
+        save/restore lifecycle never does.
+        """
+        meta = self.meta(context_id)
+        run = self.allocator.run(context_id, spec.layer, spec.kind)
+        tail = self._tails[(context_id, spec.layer, spec.kind)]
+        width = self._width(meta, spec.kind)
+        if out.shape != (spec.n_tokens, width):
+            raise ConfigError(
+                f"granule destination must be {(spec.n_tokens, width)}, got {out.shape}"
+            )
+        cpc = self.tokens_per_chunk
+        if spec.start % cpc != 0 or spec.stop > run.n_tokens:
+            raise ConfigError(
+                f"granule rows [{spec.start}, {spec.stop}) misaligned or out of range"
+            )
+        flushed_tokens = run.n_tokens - tail.n
+        io_seconds = 0.0
+        device_reads = 0
+        device_stop = min(spec.stop, flushed_tokens)
+        for start in range(spec.start, device_stop, cpc):
+            chunk_index = start // cpc
+            key = ChunkKey(context_id, spec.layer, chunk_index, spec.kind)
+            receipt = self.array.device_for(chunk_index, offset=spec.layer).read_into(
+                key, out[start - spec.start : start - spec.start + cpc]
+            )
+            io_seconds += receipt.seconds
+            device_reads += 1
+        if spec.stop > flushed_tokens:
+            tail_start = max(spec.start, flushed_tokens)
+            out[tail_start - spec.start :] = tail.data[
+                tail_start - flushed_tokens : spec.stop - flushed_tokens
+            ]
+        return io_seconds, device_reads
+
     def stream_layer(
         self,
         context_id: str,
@@ -325,11 +410,10 @@ class StorageManager:
     ) -> Iterator[LayerChunk]:
         """Stream one layer's token run as granule-sized row blocks.
 
-        Yields :class:`LayerChunk` granules in row order.  Device-resident
-        chunks are read with :meth:`StorageDevice.read_into` straight into
-        the granule's staging slot (one read per chunk, so IO granularity
-        and device busy accounting match :meth:`load_layer` exactly); the
-        host-buffered tail rows are slice-copied into the final granule.
+        Yields :class:`LayerChunk` granules in row order, filled by the
+        same :meth:`read_granule_into` the threaded executor calls from
+        its worker pool — the two paths share one read implementation, so
+        their IO accounting and their bytes are identical by construction.
         Each yielded view stays valid for ``ring.depth - 1`` further
         granules — enough for a double-buffered consumer that projects
         granule ``k`` while granule ``k+1``'s read is issued.
@@ -337,10 +421,13 @@ class StorageManager:
         The read for a granule happens when the iterator advances onto
         it, which is what lets a consumer overlap (in pipeline structure,
         and in the modelled timeline) reads with per-granule compute.
+        This generator is single-threaded by contract: advance it from one
+        thread only, and never concurrently with appends to the same
+        context.  Off-thread filling is the executor's job, not this
+        iterator's.
         """
         meta = self.meta(context_id)
-        run = self.allocator.run(context_id, layer, kind)
-        tail = self._tails[(context_id, layer, kind)]
+        self.allocator.run(context_id, layer, kind)
         width = self._width(meta, kind)
         if ring is None:
             ring = self.staging_ring(context_id, kind)
@@ -355,33 +442,15 @@ class StorageManager:
                 f"granule of {granule} tokens must be a multiple of the "
                 f"{cpc}-token chunk size"
             )
-        n_tokens = run.n_tokens
-        flushed_tokens = n_tokens - tail.n
-        for gstart in range(0, n_tokens, granule):
-            gstop = min(gstart + granule, n_tokens)
+        for spec in self.granule_plan(context_id, [layer], kind, granule // cpc):
             slot = ring.acquire()
-            view = slot[: gstop - gstart]
-            io_seconds = 0.0
-            device_reads = 0
-            device_stop = min(gstop, flushed_tokens)
-            for start in range(gstart, device_stop, cpc):
-                chunk_index = start // cpc
-                key = ChunkKey(context_id, layer, chunk_index, kind)
-                receipt = self.array.device_for(chunk_index, offset=layer).read_into(
-                    key, view[start - gstart : start - gstart + cpc]
-                )
-                io_seconds += receipt.seconds
-                device_reads += 1
-            if gstop > flushed_tokens:
-                tail_start = max(gstart, flushed_tokens)
-                view[tail_start - gstart :] = tail.data[
-                    tail_start - flushed_tokens : gstop - flushed_tokens
-                ]
+            view = slot[: spec.n_tokens]
+            io_seconds, device_reads = self.read_granule_into(context_id, spec, view)
             yield LayerChunk(
-                layer=layer,
-                kind=kind,
-                start=gstart,
-                stop=gstop,
+                layer=spec.layer,
+                kind=spec.kind,
+                start=spec.start,
+                stop=spec.stop,
                 data=view,
                 io_seconds=io_seconds,
                 device_reads=device_reads,
@@ -399,7 +468,11 @@ class StorageManager:
         Restoration consumes this as a single pipeline: the first granule
         of layer ``k+1`` can be read while the last granule of layer ``k``
         is still being projected — the §4.1 property that hidden-state
-        transmission proceeds without per-layer synchronization.
+        transmission proceeds without per-layer synchronization.  Like
+        :meth:`stream_layer`, the iterator itself is single-threaded; the
+        threaded executor achieves the same granule order via
+        :meth:`granule_plan` + :meth:`read_granule_into`, and both paths
+        restore bit-identical state.
         """
         if ring is None and len(layers) > 0:
             ring = self.staging_ring(context_id, kind)

@@ -37,6 +37,17 @@ class StagingRing:
     ``depth - 1`` further acquisitions — exactly the lookahead window a
     double-buffered consumer needs (read granule ``k+1`` while granule
     ``k`` is still being projected), and no more.
+
+    Threading rules (what the threaded restore executor relies on):
+    ``acquire`` itself must be called from a single coordinating thread —
+    it is plain Python state, not a concurrent queue.  A slot *may* then
+    be **filled from another thread** (an IO worker running
+    :meth:`repro.storage.manager.StorageManager.read_granule_into`); the
+    consumer must not touch the slot until that fill completes, and the
+    coordinator must not re-``acquire`` the slot (i.e. advance ``depth``
+    acquisitions past it) until the consumer is done with it.  With at
+    most ``F`` granules outstanding (filled-or-filling but not yet
+    consumed), a ring of ``depth >= F + 1`` makes slot reuse safe.
     """
 
     def __init__(
@@ -66,6 +77,33 @@ class StagingRing:
         slot = self._slots[self._next]
         self._next = (self._next + 1) % len(self._slots)
         return slot
+
+
+@dataclass(frozen=True)
+class GranuleSpec:
+    """Location of one granule in a layer's token run — no data attached.
+
+    The storage manager's :meth:`~repro.storage.manager.StorageManager.granule_plan`
+    enumerates these without touching any device, which is what lets the
+    threaded restore executor submit the corresponding reads to worker
+    threads ahead of consumption while keeping the consumption order (and
+    therefore the numerics) identical to the single-threaded stream.
+
+    Attributes:
+        layer: Model layer the rows belong to.
+        kind: ``"hidden"`` or ``"kv"``.
+        start: First token row covered (inclusive).
+        stop: Last token row covered (exclusive).
+    """
+
+    layer: int
+    kind: str
+    start: int
+    stop: int
+
+    @property
+    def n_tokens(self) -> int:
+        return self.stop - self.start
 
 
 @dataclass(frozen=True)
@@ -108,7 +146,10 @@ def pipelined_makespan(
     once both its own transfer and chunk ``i-1``'s compute are done —
     the §4.1 restoration shape at chunk granularity.  Both the numeric
     engine's restore breakdown and the tiered-backend timing model cost
-    their streams through this one function.
+    their streams through this one function, and the threaded restore
+    executor is its executable form: with device-latency emulation on,
+    the executor's measured wall clock should approach this makespan
+    (``benchmarks/bench_hotpath.py`` tracks the gap).
     """
     io_list = list(io_seconds)
     compute_list = list(compute_seconds)

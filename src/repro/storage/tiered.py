@@ -76,12 +76,22 @@ class TieredBackend:
         dram: DRAMSpec | None = None,
         dram_capacity_bytes: int = 64 * 1024**3,
         link_bandwidth: float | None = None,
+        io_parallelism: int = 1,
     ) -> None:
+        """``io_parallelism`` models the restore executor's IO worker pool
+        keeping that many chunk reads in flight against the SSD array
+        (NVMe queue depth): per-IO latency amortizes across overlapped
+        operations while bandwidth stays capped — see
+        :meth:`StorageArray.layer_read_timing`.  1 (the default) is the
+        pre-executor serial-read behaviour."""
         if dram_capacity_bytes <= 0:
             raise ConfigError("DRAM tier capacity must be positive")
+        if io_parallelism < 1:
+            raise ConfigError("io_parallelism must be at least 1")
         self.array = array
         self.dram = dram if dram is not None else DRAMSpec()
         self.dram_capacity_bytes = int(dram_capacity_bytes)
+        self.io_parallelism = io_parallelism
         self.link_bandwidth = (
             link_bandwidth if link_bandwidth is not None else array.link_bandwidth
         )
@@ -131,7 +141,7 @@ class TieredBackend:
         if copy_bytes == 0:
             return 0.0
         chunk_bytes = max(1, nbytes // 16)
-        return self.array.read_time(copy_bytes, chunk_bytes)
+        return self.array.read_time(copy_bytes, chunk_bytes, self.io_parallelism)
 
     def _stream_chunk_seconds(
         self, tier: str, nbytes: int, chunk_bytes: int
@@ -151,7 +161,7 @@ class TieredBackend:
         if tier == "dram":
             bandwidth = min(self.link_bandwidth, self.dram.bandwidth)
             return tuple(size / bandwidth for size in sizes)
-        total = self.array.read_time(nbytes, chunk_bytes)
+        total = self.array.read_time(nbytes, chunk_bytes, self.io_parallelism)
         return tuple(total * size / nbytes for size in sizes)
 
     def read_streamed(

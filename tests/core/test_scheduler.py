@@ -99,6 +99,37 @@ class TestOptimality:
         ):
             assert decision.predicted_makespan <= evaluate_scheme(pure, prof) + 1e-12
 
+    def test_compute_bound_cheap_recompute_picks_pure_recompute(self):
+        """Pinned: compute-bound platform with C_token < C_H (outside the
+        paper's regime — recomputing a layer is cheaper than its
+        projection).  The regime complement (KV offload) can never beat
+        pure recompute here; the scheduler must consider the
+        cross-regime endpoint rather than return a dominated KV mix."""
+        scheduler = BubbleFreeScheduler(8)
+        prof = profile(1.0, 2.0, 5.0, 1.0)  # compute-bound, c_tok < c_h
+        assert prof.compute_bound
+        decision = scheduler.schedule(prof)
+        assert decision.scheme.n_recompute == 8
+        assert decision.scheme.n_hidden == 0
+        pure_recompute = PartitionScheme.pure_recompute(8)
+        assert decision.predicted_makespan <= evaluate_scheme(pure_recompute, prof) + 1e-12
+        # And it matches the exhaustive search, which always knew better.
+        best = scheduler.schedule_by_search(prof)
+        assert decision.predicted_makespan <= best.predicted_makespan + 1e-12
+
+    def test_io_bound_cheap_kv_picks_pure_kv(self):
+        """Symmetric pinned case: IO-bound platform whose KV bytes move
+        faster than hidden bytes restore (e.g. heavily quantized KV).
+        Pure KV offload beats every recompute mix."""
+        scheduler = BubbleFreeScheduler(8)
+        prof = profile(4.0, 1.0, 1.0, 10.0)  # io-bound, io_kv << io_h
+        assert not prof.compute_bound
+        decision = scheduler.schedule(prof)
+        assert decision.scheme.n_kv == 8
+        assert decision.scheme.n_hidden == 0
+        best = scheduler.schedule_by_search(prof)
+        assert decision.predicted_makespan <= best.predicted_makespan + 1e-12
+
     def test_bubble_small_after_scheduling(self):
         scheduler = BubbleFreeScheduler(40)
         prof = profile(1.0, 2.0, 3.0, 12.0)

@@ -242,7 +242,17 @@ class TestZeroIORestoration:
         method = _SplitTimingMethod(seven_b, default_platform)
         sim = ServingSimulator(seven_b, default_platform, method)
         sim.run([single_spec(history=50, inp=32, out=4, rid="zero-io")])
-        assert sim._io_free_at == 0.0
+        assert sim._io_free_at == [0.0]
+
+    def test_invalid_io_parallelism_rejected(self, seven_b, default_platform):
+        method = _SplitTimingMethod(seven_b, default_platform)
+        with pytest.raises(ConfigError):
+            ServingSimulator(
+                seven_b,
+                default_platform,
+                method,
+                EngineConfig(restore_io_parallelism=0),
+            )
 
     def test_zero_io_trace_finishes_without_micro_stepping(
         self, seven_b, default_platform
@@ -264,3 +274,58 @@ class TestZeroIORestoration:
         assert report.n_requests == 2
         # ~5e6 micro-steps of 1e-6s would take far longer than this.
         assert elapsed < 5.0
+
+
+class TestRestoreIOParallelism:
+    """The timing-model counterpart of the shared restore IO worker pool:
+    ``restore_io_parallelism`` channels let an admitted burst of restores
+    transfer concurrently instead of serializing on one IO path."""
+
+    def _specs(self, n):
+        return [
+            single_spec(history=10_000, inp=32, out=4, t=0.0, rid=f"r{i}")
+            for i in range(n)
+        ]
+
+    def _records(self, seven_b, default_platform, parallelism, n=2):
+        method = _SplitTimingMethod(seven_b, default_platform, io_threshold=1)
+        sim = ServingSimulator(
+            seven_b,
+            default_platform,
+            method,
+            EngineConfig(restore_io_parallelism=parallelism),
+        )
+        sim.run(self._specs(n))
+        return {r.request_id: r for r in sim.metrics.records}
+
+    def test_serial_channel_staggers_restore_starts(self, seven_b, default_platform):
+        records = self._records(seven_b, default_platform, parallelism=1)
+        starts = sorted(r.restore_started_at for r in records.values())
+        # Second restore's 5s IO job waits for the first to release the path.
+        assert starts[0] == pytest.approx(0.0, abs=1e-6)
+        assert starts[1] == pytest.approx(5.0, abs=1e-6)
+
+    def test_two_channels_start_both_restores_at_admission(
+        self, seven_b, default_platform
+    ):
+        records = self._records(seven_b, default_platform, parallelism=2)
+        for record in records.values():
+            assert record.restore_started_at == pytest.approx(0.0, abs=1e-6)
+
+    def test_extra_restores_still_queue_behind_full_pool(
+        self, seven_b, default_platform
+    ):
+        records = self._records(seven_b, default_platform, parallelism=2, n=3)
+        starts = sorted(r.restore_started_at for r in records.values())
+        assert starts[0] == pytest.approx(0.0, abs=1e-6)
+        assert starts[1] == pytest.approx(0.0, abs=1e-6)
+        assert starts[2] == pytest.approx(5.0, abs=1e-6)
+
+    def test_parallel_channels_improve_ttft_under_burst(
+        self, seven_b, default_platform
+    ):
+        serial = self._records(seven_b, default_platform, parallelism=1, n=3)
+        parallel = self._records(seven_b, default_platform, parallelism=3, n=3)
+        mean_serial = sum(r.ttft for r in serial.values()) / 3
+        mean_parallel = sum(r.ttft for r in parallel.values()) / 3
+        assert mean_parallel < mean_serial
