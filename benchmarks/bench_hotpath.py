@@ -32,17 +32,36 @@ against the preserved pre-refactor baseline
    and their ratio (``gap_ratio``) is the tracked regression surface:
    it should stay near 1, and within the 1.5x acceptance band at 4k
    tokens.  Threaded restores are checked bit-exact too.
+5. **batched decode** — multi-session decode throughput: one
+   ``Transformer.decode_batch`` call per step over a
+   :class:`StackedKVCacheBlock` vs the serial per-session loop, at
+   batch sizes 1 / 4 / 16.  Gate: >= 2x tokens/s over serial at batch
+   16 at 1k tokens (the ShareGPT-scale serving context), with the
+   batched caches matching the serial ones within the pinned
+   ``BATCHED_DECODE_ATOL`` (the GEMV-vs-GEMM blocking caveat — see
+   :mod:`repro.models.transformer`).  The 4k numbers are recorded too:
+   there the tiny bench model's decode is attention-bandwidth-bound,
+   serial and batched converge on the same memory floor (~1.7-2x on a
+   1-core host), and the ratio is too noise-prone to gate on — which
+   is itself the honest story the ROADMAP tells about decode e2e.
 
 Results are printed and written to ``BENCH_hotpath.json`` at the repo
 root (``--smoke`` runs a reduced-window subset — still including the
 4k-token gate sizes — and skips the write unless ``--out`` is given),
 establishing the performance trajectory future PRs are measured against.
+
+Setting ``CHECK_RELAX_TIMING=1`` (used by CI on noisy shared runners)
+widens the *timing* gates — threaded-restore speedup/gap and the
+batched-decode speedup floor — while keeping every exactness check and
+the 10x state-path floor strict.  The committed JSON must be produced
+without it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -56,18 +75,40 @@ from repro.core.hcache import HCacheEngine, RestoreBreakdown
 from repro.core.profiler import build_storage_array
 from repro.models.config import ModelConfig
 from repro.models.hidden_capture import HiddenCapture
-from repro.models.kv_cache import KVCache
+from repro.models.kv_cache import KVCache, StackedKVCacheBlock
 from repro.models.reference import (
     NaiveKVCache,
     naive_restore_cache_from_hidden,
     naive_scaled_dot_product_attention,
 )
-from repro.models.transformer import Transformer
+from repro.models.transformer import BATCHED_DECODE_ATOL, Transformer
 from repro.runtime import RestoreExecutor
 from repro.simulator import platform_preset
 from repro.simulator.hardware import GB, SSDSpec
 from repro.storage.array import StorageArray
 from repro.storage.manager import StorageManager
+
+#: CI relaxation knob (see scripts/check.sh and benchmarks/README.md):
+#: when CHECK_RELAX_TIMING=1, the purely timing-based gates widen so
+#: noisy shared runners don't flake, while bit-exactness, the batched
+#: equivalence tolerance, and the 10x state-path floor stay strict.
+RELAX_TIMING = os.environ.get("CHECK_RELAX_TIMING", "") == "1"
+
+#: Threaded-restore gate thresholds (strict -> relaxed).
+THREADED_SPEEDUP_FLOOR = 0.75 if RELAX_TIMING else 1.0
+THREADED_GAP_CEILING = 3.0 if RELAX_TIMING else 1.5
+
+#: Batched-decode gate threshold at batch 16 (strict -> relaxed).
+BATCHED_SPEEDUP_FLOOR = 1.3 if RELAX_TIMING else 2.0
+
+#: Batch sizes measured by the batched-decode section.
+DECODE_BATCH_SIZES = (1, 4, 16)
+
+#: Context size the batched-decode gate is defined at.  1k is the
+#: ShareGPT-scale serving context; at 4k the bench model's decode is
+#: attention-bandwidth-bound and serial/batched share one memory floor,
+#: so the ratio there is recorded but not gated (see module docstring).
+BATCHED_GATE_TOKENS = 1024
 
 #: IO worker pool used for the threaded-restore comparison.  Size 1 is
 #: deliberately conservative: it is the honest setting for single-core
@@ -262,7 +303,75 @@ def bench_decode_e2e(model: Transformer, n_tokens: int, window: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 3. restore
+# 3. batched multi-session decode
+# ----------------------------------------------------------------------
+
+
+def bench_decode_batched(model: Transformer, n_tokens: int, window: int) -> dict:
+    """Serial per-session decode vs one ``decode_batch`` call per step.
+
+    Each batch size gets two identical session sets at ``n_tokens -
+    window`` history: the serial set decodes ``window`` tokens with the
+    per-session fast path (the post-PR-1 loop), the batched set decodes
+    the same tokens through :meth:`Transformer.decode_batch` on a
+    :class:`StackedKVCacheBlock`.  Throughput counts every session's
+    token; equivalence compares the final caches and last-step logits at
+    the pinned ``BATCHED_DECODE_ATOL``.
+    """
+    cfg = BENCH_CONFIG
+    history = n_tokens - window
+    per_batch: dict[str, dict] = {}
+    for n_batch in DECODE_BATCH_SIZES:
+        rng = _rng()
+        base_k = _kv_rows(rng, history)
+        base_v = _kv_rows(rng, history)
+        serial_caches: list[KVCache] = []
+        batched_caches: list[KVCache] = []
+        for _ in range(n_batch):
+            for group in (serial_caches, batched_caches):
+                cache = KVCache(cfg)
+                cache.reserve(n_tokens)
+                for layer in range(cfg.n_layers):
+                    cache.append(layer, base_k, base_v)
+                group.append(cache)
+
+        serial_logits = [None] * n_batch
+        t0 = time.perf_counter()
+        for _ in range(window):
+            for b, cache in enumerate(serial_caches):
+                serial_logits[b] = model.forward(np.array([5]), cache).logits[-1]
+        serial_s = time.perf_counter() - t0
+
+        StackedKVCacheBlock.adopt(batched_caches, reserve_tokens=n_tokens)
+        tokens = np.full(n_batch, 5)
+        batched_logits = None
+        t0 = time.perf_counter()
+        for _ in range(window):
+            batched_logits = model.decode_batch(tokens, batched_caches)
+        batched_s = time.perf_counter() - t0
+
+        equivalent = bool(
+            np.allclose(
+                batched_logits, np.stack(serial_logits), atol=BATCHED_DECODE_ATOL, rtol=0
+            )
+            and all(
+                fast.equals(ref, atol=BATCHED_DECODE_ATOL)
+                for fast, ref in zip(batched_caches, serial_caches)
+            )
+        )
+        per_batch[str(n_batch)] = {
+            "batch": n_batch,
+            "window": window,
+            "serial_tok_s": n_batch * window / serial_s,
+            "batched_tok_s": n_batch * window / batched_s,
+            "speedup": serial_s / batched_s,
+            "equivalent": equivalent,
+        }
+    return {"n_tokens": n_tokens, "per_batch": per_batch}
+
+
+# ----------------------------------------------------------------------
+# 4. restore
 # ----------------------------------------------------------------------
 
 
@@ -395,7 +504,7 @@ def run(sizes: list[int], window: int) -> dict:
     model = Transformer.from_seed(BENCH_CONFIG, seed=7)
     bench_restore(model, 64)  # warmup: projection stacks, BLAS threads
     report = {
-        "schema": "bench_hotpath/v3",
+        "schema": "bench_hotpath/v4",
         "config": {
             "name": BENCH_CONFIG.name,
             "n_layers": BENCH_CONFIG.n_layers,
@@ -405,23 +514,32 @@ def run(sizes: list[int], window: int) -> dict:
         },
         "sizes": sizes,
         "window": window,
+        "relaxed_timing": RELAX_TIMING,
         "decode_with_capture": {},
         "decode_e2e": {},
+        "decode_batched": {},
         "restore": {},
     }
     for n in sizes:
         state = bench_state_path(n, window)
         e2e = bench_decode_e2e(model, n, window)
+        batched = bench_decode_batched(model, n, window)
         restore = bench_restore(model, n)
         report["decode_with_capture"][str(n)] = state
         report["decode_e2e"][str(n)] = e2e
+        report["decode_batched"][str(n)] = batched
         report["restore"][str(n)] = restore
         stages = restore["stages"]
         threaded = restore["threaded"]
+        largest_batch = batched["per_batch"][str(max(DECODE_BATCH_SIZES))]
         print(
             f"n={n:5d}  state-path {state['speedup']:7.1f}x "
             f"({state['naive_tok_s']:9.1f} -> {state['fast_tok_s']:11.1f} tok/s)  "
             f"e2e {e2e['speedup']:5.1f}x  "
+            f"batched@B{largest_batch['batch']} {largest_batch['speedup']:4.2f}x "
+            f"({largest_batch['serial_tok_s']:7.1f} -> "
+            f"{largest_batch['batched_tok_s']:8.1f} tok/s, "
+            f"equiv={largest_batch['equivalent']})  "
             f"restore {restore['speedup']:5.1f}x "
             f"(engine {restore['engine_restore_s'] * 1e3:7.2f} ms, "
             f"elementwise {stages['elementwise_share'] * 100:4.1f}%, "
@@ -437,6 +555,15 @@ def run(sizes: list[int], window: int) -> dict:
     # smaller sizes only check that the harness and numerics hold up.
     target_applies = max(sizes) >= 4096
     threaded_head = report["restore"][largest]["threaded"]
+    batched_gate_applies = BATCHED_GATE_TOKENS in sizes
+    batched_head = report["decode_batched"][
+        str(BATCHED_GATE_TOKENS) if batched_gate_applies else largest
+    ]["per_batch"][str(max(DECODE_BATCH_SIZES))]
+    batched_equivalent = all(
+        entry["equivalent"]
+        for size_report in report["decode_batched"].values()
+        for entry in size_report["per_batch"].values()
+    )
     report["headline"] = {
         "metric": "decode_with_capture_state_path_speedup",
         "at_tokens": max(sizes),
@@ -448,18 +575,38 @@ def run(sizes: list[int], window: int) -> dict:
         ),
         # Threaded-restore acceptance (defined at 4k like the 10x floor):
         # faster than the single-threaded streamed path, and wall clock
-        # within 1.5x of the §4.1 pipelined makespan.
+        # within the gap ceiling of the §4.1 pipelined makespan.  The
+        # speedup/gap thresholds are the CHECK_RELAX_TIMING-aware ones.
         "threaded_restore": {
             "at_tokens": max(sizes),
             "speedup_vs_single": threaded_head["speedup"],
+            "speedup_floor": THREADED_SPEEDUP_FLOOR if target_applies else None,
             "gap_ratio": threaded_head["gap_ratio"],
-            "gap_target": 1.5 if target_applies else None,
+            "gap_target": THREADED_GAP_CEILING if target_applies else None,
             "met": (
                 bool(
-                    threaded_head["speedup"] > 1.0
-                    and threaded_head["gap_ratio"] <= 1.5
+                    threaded_head["speedup"] > THREADED_SPEEDUP_FLOOR
+                    and threaded_head["gap_ratio"] <= THREADED_GAP_CEILING
                 )
                 if target_applies
+                else None
+            ),
+        },
+        # Batched-decode acceptance: one decode_batch call over B=16
+        # sessions must beat 16 serial decode steps by the speedup
+        # floor at the gate context (1k tokens — see BATCHED_GATE_TOKENS),
+        # and every batch size at every measured context must match the
+        # serial loop within the pinned BATCHED_DECODE_ATOL (equivalence
+        # is never relaxed).
+        "batched_decode": {
+            "at_tokens": BATCHED_GATE_TOKENS if batched_gate_applies else max(sizes),
+            "batch": batched_head["batch"],
+            "speedup_vs_serial": batched_head["speedup"],
+            "target": BATCHED_SPEEDUP_FLOOR if batched_gate_applies else None,
+            "all_equivalent": bool(batched_equivalent),
+            "met": (
+                bool(batched_head["speedup"] >= BATCHED_SPEEDUP_FLOOR)
+                if batched_gate_applies
                 else None
             ),
         },
@@ -474,7 +621,10 @@ def run(sizes: list[int], window: int) -> dict:
         f"{largest} tokens ({gate}); threaded restore "
         f"{threaded_head['speedup']:.2f}x vs single, "
         f"{threaded_head['gap_ratio']:.2f}x of pipelined model "
-        f"(met={report['headline']['threaded_restore']['met']})"
+        f"(met={report['headline']['threaded_restore']['met']}); "
+        f"batched decode {batched_head['speedup']:.2f}x at "
+        f"B{batched_head['batch']} (met={report['headline']['batched_decode']['met']}, "
+        f"equivalent={batched_equivalent})"
     )
     return report
 
@@ -487,10 +637,12 @@ def main() -> int:
     parser.add_argument("--out", type=Path, default=None, help="JSON output path")
     args = parser.parse_args()
     if args.smoke:
-        # Keep 4096 in the smoke run: it carries the >= 10x acceptance
-        # gate and the restore bit-exactness check, so scripts/check.sh
-        # catches hot-path regressions before the committed JSON drifts.
-        sizes, window = [256, 4096], 16
+        # Keep 4096 in the smoke run (it carries the >= 10x acceptance
+        # gate, the threaded-restore gate, and the restore bit-exactness
+        # check) and 1024 (the batched-decode gate context), so
+        # scripts/check.sh catches hot-path regressions before the
+        # committed JSON drifts.
+        sizes, window = [256, 1024, 4096], 16
     else:
         sizes, window = [256, 1024, 4096], 64
     report = run(sizes, window)
@@ -509,8 +661,25 @@ def main() -> int:
     if report["headline"]["threaded_restore"]["met"] is False:
         print(
             "ERROR: threaded restore missed its gate (must beat the "
-            "single-threaded path and stay within 1.5x of the pipelined "
-            "makespan at 4k tokens)",
+            f"single-threaded path by > {THREADED_SPEEDUP_FLOOR}x and stay "
+            f"within {THREADED_GAP_CEILING}x of the pipelined makespan at "
+            "4k tokens)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["headline"]["batched_decode"]["all_equivalent"]:
+        print(
+            "ERROR: batched decode diverged from the serial per-session "
+            f"loop beyond atol={BATCHED_DECODE_ATOL}",
+            file=sys.stderr,
+        )
+        return 1
+    if report["headline"]["batched_decode"]["met"] is False:
+        print(
+            "ERROR: batched decode missed its gate (one decode_batch call "
+            f"over {max(DECODE_BATCH_SIZES)} sessions must be >= "
+            f"{BATCHED_SPEEDUP_FLOOR}x the serial loop at "
+            f"{BATCHED_GATE_TOKENS} tokens)",
             file=sys.stderr,
         )
         return 1

@@ -1,23 +1,37 @@
 #!/usr/bin/env bash
-# Local gate: bytecode-compile, tier-1 tests, doc freshness, hot-path
-# benchmark smoke.
+# Local + CI gate: bytecode-compile, lint, tier-1 tests, doc freshness,
+# hot-path benchmark smoke.
 #
-# Run this before sending a PR.  The compileall pass catches syntax-level
-# breakage in modules no test imports.  The doc check keeps README.md's
-# module map pointing at packages that actually exist (and vice versa).
-# The smoke benchmark executes the same code paths as the committed
-# BENCH_hotpath.json (decode-with-capture state path, end-to-end decode,
-# chunk-streamed restore, threaded restore under latency emulation) at a
-# reduced window but still including the 4096-token gate size, so it
-# *asserts*:
+# Run this before sending a PR; .github/workflows/ci.yml runs exactly
+# this script on every push/PR.  The compileall pass catches
+# syntax-level breakage in modules no test imports.  The lint step runs
+# ruff with the repo config in pyproject.toml (skipped with a notice if
+# ruff isn't installed locally — CI always has it via
+# requirements-dev.txt).  The doc check keeps README.md's module map
+# pointing at packages that actually exist (and vice versa).  The smoke
+# benchmark executes the same code paths as the committed
+# BENCH_hotpath.json (decode-with-capture state path, end-to-end
+# decode, batched multi-session decode, chunk-streamed restore,
+# threaded restore under latency emulation) at a reduced window but
+# still including the 4096-token gate size, so it *asserts*:
 #   - the PR-1 speedup floor (decode-with-capture state path >= 10x
 #     naive at 4k tokens),
 #   - that every restore flavor — including the PR-3 threaded executor —
 #     stays bit-exact vs the naive reference,
 #   - the PR-3 threaded-restore gate (faster than the single-threaded
-#     streamed path, wall clock within 1.5x of the modelled pipelined
-#     makespan at 4k tokens).
+#     streamed path, wall clock within the gap ceiling of the modelled
+#     pipelined makespan at 4k tokens),
+#   - the PR-4 batched-decode gate (one decode_batch call over 16
+#     sessions >= 2x the serial per-session loop at 1k tokens — the
+#     serving-scale context; 4k is recorded but attention-bandwidth-
+#     bound — with batched caches/logits inside the pinned
+#     BATCHED_DECODE_ATOL at every measured size).
 # Hot-path regressions fail here before the committed numbers drift.
+#
+# CHECK_RELAX_TIMING=1 (set by CI) widens the timing thresholds
+# (threaded speedup/gap, batched speedup) for noisy shared runners;
+# exactness checks and the 10x floor are never relaxed.  See
+# benchmarks/README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -25,13 +39,22 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== bytecode compile =="
 python -m compileall -q src benchmarks scripts
 
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts
+elif python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks scripts
+else
+    echo "ruff not installed; skipping lint (CI runs it — pip install -r requirements-dev.txt)"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo "== doc freshness (README module map vs src/repro) =="
 python scripts/check_docs.py
 
-echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor + 1.5x pipeline gap at 4k) =="
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k) =="
 python benchmarks/bench_hotpath.py --smoke
 
 echo "all checks passed"

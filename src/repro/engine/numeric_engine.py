@@ -12,14 +12,14 @@ which is the paper's losslessness claim in executable form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.hcache import HCacheEngine
 from repro.errors import ConfigError, StateError
 from repro.models.hidden_capture import HiddenCapture
-from repro.models.kv_cache import KVCache
+from repro.models.kv_cache import KVCache, StackedKVCacheBlock
 from repro.models.transformer import Transformer
 from repro.runtime.executor import RestoreExecutor
 
@@ -111,26 +111,13 @@ class NumericServingEngine:
                 )
             else:
                 state.kv_cache = KVCache(self.transformer.config)
+        capture, logits = self._prefill_round(
+            state, prompt_tokens, round_tokens, n_output_tokens
+        )
         cache = state.kv_cache
         assert cache is not None
-        if len(cache) != len(state.tokens):
-            raise StateError(
-                f"session {session_id!r}: cache holds {len(cache)} tokens, "
-                f"log has {len(state.tokens)}"
-            )
-        cache.reserve(round_tokens)
-        capture = HiddenCapture(
-            self.transformer.config.n_layers, self.transformer.config.hidden_size
-        )
-        capture.reserve(prompt_tokens.size + n_output_tokens)
-
-        result = self.transformer.forward(prompt_tokens, cache, capture=capture)
-        assert result.hidden_states is not None
-        self.hcache.save_states(session_id, result.hidden_states, prompt_tokens, kv_cache=cache)
-        state.tokens.extend(int(t) for t in prompt_tokens)
 
         generated: list[int] = []
-        logits = result.logits[-1]
         for _ in range(n_output_tokens):
             token = int(np.argmax(logits))
             generated.append(token)
@@ -143,8 +130,197 @@ class NumericServingEngine:
             logits = step.logits[-1]
         return generated
 
+    def _prefill_round(
+        self,
+        state: SessionState,
+        prompt_tokens: np.ndarray,
+        round_tokens: int,
+        n_output_tokens: int,
+    ) -> tuple[HiddenCapture, np.ndarray]:
+        """Prefill phase shared by :meth:`chat_round` and :meth:`chat_rounds`.
+
+        Checks the cache/token-log agreement, reserves the round's full
+        capacity, forwards the prompt into a round-sized capture buffer,
+        persists the prompt's states, and extends the token log.
+        Returns the capture (decode steps keep appending to it) and the
+        prompt's last-token logits.
+        """
+        cache = state.kv_cache
+        assert cache is not None
+        if len(cache) != len(state.tokens):
+            raise StateError(
+                f"session {state.session_id!r}: cache holds {len(cache)} tokens, "
+                f"log has {len(state.tokens)}"
+            )
+        cache.reserve(round_tokens)
+        capture = HiddenCapture(
+            self.transformer.config.n_layers, self.transformer.config.hidden_size
+        )
+        capture.reserve(prompt_tokens.size + n_output_tokens)
+        result = self.transformer.forward(prompt_tokens, cache, capture=capture)
+        assert result.hidden_states is not None
+        self.hcache.save_states(
+            state.session_id, result.hidden_states, prompt_tokens, kv_cache=cache
+        )
+        state.tokens.extend(int(t) for t in prompt_tokens)
+        return capture, result.logits[-1]
+
+    def chat_rounds(
+        self,
+        rounds: Sequence[tuple[str, np.ndarray]],
+        n_output_tokens: int,
+    ) -> dict[str, list[int]]:
+        """Serve one round for several sessions, decoding them as one batch.
+
+        The batched counterpart of :meth:`chat_round`, in three phases:
+
+        1. **Restore burst** — every evicted session with history comes
+           back through :meth:`restore_sessions` (one shared IO pool
+           when an executor is configured).
+        2. **Prefill** — each prompt runs a serial block-level forward
+           (prompt GEMMs are already batched within a session), saving
+           states as usual.
+        3. **Batched decode** — the caches are stacked into one
+           :class:`StackedKVCacheBlock` and every output token is one
+           :meth:`Transformer.decode_batch` call across all sessions,
+           instead of ``len(rounds)`` serial steps.  Per-step hidden
+           states still flow into per-session capture buffers and the
+           per-token HCache saves, so the storage contents match the
+           serial path.
+
+        Returns ``{session_id: generated tokens}``.  Numeric state
+        matches per-session :meth:`chat_round` calls within the
+        documented batched-GEMM tolerance
+        (:data:`repro.models.transformer.BATCHED_DECODE_ATOL`); the
+        greedy token streams therefore match too *unless* a step's top
+        two logits tie within that rounding band — the same caveat any
+        GEMM-shape change carries (cf. the ROADMAP's live-cache atol
+        note), not an additional batching hazard class.
+        """
+        if not rounds:
+            raise ConfigError("need at least one (session, prompt) round")
+        if n_output_tokens <= 0:
+            raise ConfigError("output length must be positive")
+        session_ids: list[str] = []
+        prompts: list[np.ndarray] = []
+        for session_id, prompt_tokens in rounds:
+            prompt_tokens = np.asarray(prompt_tokens)
+            if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+                raise ConfigError("prompt must be a non-empty 1-D token array")
+            session_ids.append(session_id)
+            prompts.append(prompt_tokens)
+        if len(set(session_ids)) != len(session_ids):
+            raise ConfigError("a session cannot appear twice in one batch")
+        states = [self.session(session_id) for session_id in session_ids]
+        round_totals = [
+            len(state.tokens) + prompt.size + n_output_tokens
+            for state, prompt in zip(states, prompts)
+        ]
+        totals_by_session = dict(zip(session_ids, round_totals))
+        evicted = [s.session_id for s in states if not s.on_gpu and s.tokens]
+        if evicted:
+            # Per-session reservations: each restored cache only needs its
+            # own round's capacity (the shared *block* is what must fit the
+            # largest session, and ensure_stacked below sizes that).
+            self.restore_sessions(
+                evicted,
+                reserve_tokens={sid: totals_by_session[sid] for sid in evicted},
+            )
+        config = self.transformer.config
+        captures: list[HiddenCapture] = []
+        logits_rows: list[np.ndarray] = []
+        for state, prompt, total in zip(states, prompts, round_totals):
+            if not state.on_gpu:
+                state.kv_cache = KVCache(config)
+            capture, last_logits = self._prefill_round(
+                state, prompt, total, n_output_tokens
+            )
+            captures.append(capture)
+            logits_rows.append(last_logits)
+        caches = [state.kv_cache for state in states]
+        StackedKVCacheBlock.ensure_stacked(caches, reserve_tokens=max(round_totals))
+        generated: dict[str, list[int]] = {s: [] for s in session_ids}
+        logits = np.stack(logits_rows)
+        for _ in range(n_output_tokens):
+            step_tokens = np.argmax(logits, axis=1)
+            rows = [len(capture) for capture in captures]
+            logits = self.transformer.decode_batch(step_tokens, caches, captures=captures)
+            for b, state in enumerate(states):
+                token = int(step_tokens[b])
+                generated[state.session_id].append(token)
+                self.hcache.save_states(
+                    state.session_id,
+                    captures[b].block_views(rows[b], rows[b] + 1),
+                    np.array([token]),
+                    kv_cache=state.kv_cache,
+                )
+                state.tokens.append(token)
+        return generated
+
+    def decode_iteration(self, tokens_by_session: Mapping[str, int]) -> dict[str, int]:
+        """Run one engine iteration's decode batch as a single model call.
+
+        This is the execution half of the continuous-batching plan: the
+        scheduler picks the decode set
+        (:attr:`repro.engine.splitfuse.IterationPlan.decode_session_ids`),
+        and this method feeds each listed session its pending token
+        through one :meth:`Transformer.decode_batch` pass, persists the
+        captured hidden states, appends to the token logs, and returns
+        each session's next greedy token ``{session_id: token}``.
+
+        All sessions must be GPU-resident with non-empty histories (the
+        pending token continues a prefilled context).  Caches are
+        stacked on first use and the block is reused while the batch
+        stays stable; a membership or order change re-stacks (one
+        O(batch x history) copy — the numpy analog of remapping KV
+        pages into the new batch layout).
+        """
+        if not tokens_by_session:
+            raise ConfigError("decode iteration needs at least one session")
+        session_ids = list(tokens_by_session)
+        states = [self.session(session_id) for session_id in session_ids]
+        for state in states:
+            if not state.on_gpu:
+                raise StateError(
+                    f"session {state.session_id!r} is not GPU-resident; restore it first"
+                )
+            if not state.tokens:
+                raise StateError(
+                    f"session {state.session_id!r} has no prefilled context to decode from"
+                )
+            assert state.kv_cache is not None
+            if len(state.kv_cache) != len(state.tokens):
+                raise StateError(
+                    f"session {state.session_id!r}: cache holds "
+                    f"{len(state.kv_cache)} tokens, log has {len(state.tokens)}"
+                )
+        caches = [state.kv_cache for state in states]
+        StackedKVCacheBlock.ensure_stacked(caches)
+        config = self.transformer.config
+        captures = [
+            HiddenCapture(config.n_layers, config.hidden_size) for _ in states
+        ]
+        step_tokens = np.array(
+            [int(tokens_by_session[session_id]) for session_id in session_ids]
+        )
+        logits = self.transformer.decode_batch(step_tokens, caches, captures=captures)
+        for b, state in enumerate(states):
+            self.hcache.save_states(
+                state.session_id,
+                captures[b].block_views(0, 1),
+                step_tokens[b : b + 1],
+                kv_cache=state.kv_cache,
+            )
+            state.tokens.append(int(step_tokens[b]))
+        return {
+            session_id: int(np.argmax(logits[b]))
+            for b, session_id in enumerate(session_ids)
+        }
+
     def restore_sessions(
-        self, session_ids: Sequence[str], reserve_tokens: int = 0
+        self,
+        session_ids: Sequence[str],
+        reserve_tokens: int | Mapping[str, int] = 0,
     ) -> None:
         """Bring several evicted sessions back onto the GPU at once.
 
@@ -160,7 +336,9 @@ class NumericServingEngine:
         upcoming round, when the caller knows it) sizes each restored
         cache up front so the history is not recopied by the first
         post-restore growth — the same reservation ``chat_round`` makes
-        for its own restores.
+        for its own restores.  Pass a per-session mapping when the
+        sessions' expected lengths differ (missing ids reserve 0): a
+        single int would size every cache to the largest session.
         """
         states = []
         for session_id in session_ids:
@@ -170,15 +348,21 @@ class NumericServingEngine:
             if not state.tokens:
                 raise StateError(f"session {session_id!r} has no history to restore")
             states.append(state)
+        if isinstance(reserve_tokens, int):
+            reserve = dict.fromkeys(session_ids, reserve_tokens)
+        else:
+            reserve = {sid: int(reserve_tokens.get(sid, 0)) for sid in session_ids}
         if self.executor is not None:
             caches = self.executor.restore_contexts(
-                self.hcache, [s.session_id for s in states], reserve_tokens
+                self.hcache, [s.session_id for s in states], reserve
             )
             for state in states:
                 state.kv_cache = caches[state.session_id]
         else:
             for state in states:
-                state.kv_cache = self.hcache.restore(state.session_id, reserve_tokens)
+                state.kv_cache = self.hcache.restore(
+                    state.session_id, reserve[state.session_id]
+                )
 
     def evict(self, session_id: str) -> None:
         """Drop a session's GPU state; host storage keeps everything."""
@@ -186,11 +370,15 @@ class NumericServingEngine:
         if not state.on_gpu:
             raise StateError(f"session {session_id!r} is already evicted")
         self.hcache.seal(session_id)
+        assert state.kv_cache is not None
+        state.kv_cache.release_block_slot()
         state.kv_cache = None
 
     def close_session(self, session_id: str) -> None:
         """End a conversation and free its storage."""
         state = self.session(session_id)
+        if state.kv_cache is not None:
+            state.kv_cache.release_block_slot()
         state.kv_cache = None
         self.hcache.drop_context(session_id)
         del self._sessions[session_id]

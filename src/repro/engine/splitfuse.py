@@ -39,6 +39,18 @@ class IterationPlan:
     def has_work(self) -> bool:
         return bool(self.decode_requests or self.prefill_chunks)
 
+    @property
+    def decode_session_ids(self) -> tuple[str, ...]:
+        """Session ids of this iteration's decode batch, in plan order.
+
+        This is the unit the numeric engine executes as **one** batched
+        model call
+        (:meth:`repro.engine.numeric_engine.NumericServingEngine.decode_iteration`)
+        instead of ``len(decode_requests)`` serial single-token steps —
+        the Orca-style iteration batching made real.
+        """
+        return tuple(r.spec.session_id for r in self.decode_requests)
+
 
 class SplitFuseScheduler:
     """Selects per-iteration work under a token budget."""

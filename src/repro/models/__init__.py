@@ -3,9 +3,10 @@ numpy implementation used to validate HCache's lossless restoration."""
 
 from repro.models.config import FP16_BYTES, MODELS, ModelConfig, model_preset
 from repro.models.hidden_capture import HiddenCapture
-from repro.models.kv_cache import KVCache
+from repro.models.kv_cache import KVCache, StackedKVCacheBlock
 from repro.models.sampler import greedy, sample_temperature, sample_top_k
 from repro.models.transformer import (
+    BATCHED_DECODE_ATOL,
     ForwardResult,
     ProjectionStats,
     RestoreWorkspace,
@@ -14,11 +15,13 @@ from repro.models.transformer import (
 from repro.models.weights import LayerWeights, ModelWeights, init_weights
 
 __all__ = [
+    "BATCHED_DECODE_ATOL",
     "FP16_BYTES",
     "MODELS",
     "ForwardResult",
     "HiddenCapture",
     "KVCache",
+    "StackedKVCacheBlock",
     "LayerWeights",
     "ModelConfig",
     "ModelWeights",

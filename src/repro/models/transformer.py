@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.models.attention import (
     attention_module,
+    batched_decode_attention,
     merge_heads,
     repeat_kv,
     scaled_dot_product_attention,
@@ -38,7 +40,7 @@ from repro.models.attention import (
 from repro.models.config import ModelConfig
 from repro.models.ffn import ffn_forward
 from repro.models.hidden_capture import HiddenCapture
-from repro.models.kv_cache import KVCache
+from repro.models.kv_cache import KVCache, StackedKVCacheBlock
 from repro.models.rope import (
     apply_rope,
     rope_rotate_fullwidth_into,
@@ -46,6 +48,19 @@ from repro.models.rope import (
 )
 from repro.models.tensor_ops import layernorm, layernorm_into, rmsnorm, rmsnorm_into
 from repro.models.weights import LayerWeights, ModelWeights, init_weights
+
+#: Pinned tolerance for comparing the batched multi-session decode path
+#: (:meth:`Transformer.decode_batch`) against the serial per-session
+#: loop.  The two run identical per-row elementwise arithmetic (norm,
+#: RoPE, residuals, softmax max/exp) but their GEMMs differ in the BLAS
+#: M-blocking — an ``(B, hidden)`` projection vs B separate ``(1,
+#: hidden)`` ones — the same caveat already documented for
+#: decode-produced state vs batched-restore comparisons (atol=1e-5 per
+#: single projection).  Over a multi-step decode the per-GEMM rounding
+#: compounds through layers and the growing cache; measured drift over
+#: dozens of steps stays in the 1e-6 range, so 1e-4 leaves two orders
+#: of magnitude of headroom for other BLAS builds.
+BATCHED_DECODE_ATOL = 1e-4
 
 
 @dataclass
@@ -508,6 +523,122 @@ class Transformer:
     ) -> ForwardResult:
         """Autoregressively process one token."""
         return self.forward(np.array([token]), kv_cache, capture_hidden=capture_hidden)
+
+    def decode_batch(
+        self,
+        tokens: np.ndarray,
+        caches: Sequence[KVCache],
+        captures: Sequence[HiddenCapture] | None = None,
+    ) -> np.ndarray:
+        """One decode step for ``B`` concurrent sessions in a single pass.
+
+        The continuous-batching hot path: instead of ``B`` serial
+        single-token forwards, QKV projection, attention, and FFN run as
+        batched GEMMs over all sessions at once.  ``tokens[b]`` is the
+        next token of session ``b`` and ``caches[b]`` its KV cache; the
+        sessions may sit at different positions (each token's RoPE angle
+        and attention span come from its own cache length).  When the
+        caches are stacked in one :class:`StackedKVCacheBlock` (slot
+        order matching ``caches``), history K/V is read through
+        zero-copy stacked views and the new rows land in one vectorized
+        write; otherwise the histories are gathered into a zero-padded
+        scratch stack per layer — same results, one extra copy.
+
+        Per-session hidden states are written into ``captures[b]``
+        exactly like the serial path writes its capture (one row per
+        layer), so the HCache saving path is unchanged: callers persist
+        ``captures[b].block_views(row, row + 1)`` per step.
+
+        Returns ``(B, vocab)`` next-token logits.
+
+        **Equivalence contract:** row ``b`` matches a serial
+        ``forward([tokens[b]], caches[b])`` to within
+        :data:`BATCHED_DECODE_ATOL`, not bit-exactly — the batched GEMMs
+        (M=B) round differently from the serial M=1 GEMVs, the same
+        BLAS-blocking caveat documented for live-cache comparisons in
+        the ROADMAP.  All elementwise stages (norm, RoPE, softmax,
+        residuals) are per-row and bit-identical; the padded softmax's
+        extra exactly-zero terms can shift the reduction by an ulp.  The
+        stacked-block and gather fallback flavors of *this* method are
+        bit-identical to each other.
+        """
+        config = self.config
+        tokens = np.asarray(tokens)
+        caches = list(caches)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ConfigError("tokens must be a non-empty 1-D array, one per session")
+        if len(caches) != tokens.size:
+            raise ConfigError(
+                f"{tokens.size} tokens for {len(caches)} caches; need one each"
+            )
+        if len({id(cache) for cache in caches}) != len(caches):
+            raise ConfigError("the same cache cannot serve two batch slots")
+        for cache in caches:
+            if cache.config != config:
+                raise ConfigError("every cache must match the transformer's config")
+        if captures is not None:
+            captures = list(captures)
+            if len(captures) != len(caches):
+                raise ConfigError("need one capture per session")
+        lengths = np.array([len(cache) for cache in caches], dtype=np.intp)
+        if int(lengths.max()) + 1 > config.max_context:
+            raise ConfigError(
+                f"context {int(lengths.max()) + 1} exceeds max {config.max_context}"
+            )
+        positions = lengths.copy()
+        hidden = self.embed(tokens)  # (B, hidden)
+        block = StackedKVCacheBlock.of(caches)
+        rows = [capture.extend(1) for capture in captures] if captures is not None else None
+        n_rep = config.n_heads // config.n_kv_heads
+        new_lens = lengths + 1
+        max_len = int(new_lens.max())
+        for layer in range(config.n_layers):
+            if captures is not None:
+                for b, capture in enumerate(captures):
+                    capture.write(layer, rows[b], hidden[b : b + 1])
+            w = self.weights.layers[layer]
+            # One batched projection for all sessions: row b's position is
+            # session b's cache length, exactly what compute_qkv applies.
+            q, k, v = self.compute_qkv(layer, hidden, positions)
+            if block is not None:
+                block.append_token(layer, k, v)
+                keys, values = block.stacked_kv(layer, max_len)
+            else:
+                for b, cache in enumerate(caches):
+                    cache.append(layer, k[b : b + 1], v[b : b + 1])
+                keys, values = self._gather_kv(caches, layer, max_len)
+            attn = batched_decode_attention(
+                q,
+                repeat_kv(keys, n_rep, axis=2),
+                repeat_kv(values, n_rep, axis=2),
+                new_lens,
+            )
+            hidden = hidden + merge_heads(attn) @ w.wo
+            normed = self._norm(hidden, w.ffn_norm)
+            hidden = hidden + ffn_forward(normed, w, config.n_ffn_mats)
+        final = self._norm(hidden, self.weights.final_norm)
+        return final @ self.weights.lm_head
+
+    def _gather_kv(
+        self, caches: "list[KVCache]", layer: int, max_len: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Copy per-session K/V views into one zero-padded stack.
+
+        The batched-decode fallback for caches that do not share a
+        :class:`StackedKVCacheBlock`.  Zero padding keeps the masked
+        attention's probability-0 tail terms finite and exactly zero,
+        matching the stacked path bit for bit.
+        """
+        config = self.config
+        k_pad = np.zeros(
+            (len(caches), max_len, config.n_kv_heads, config.head_dim), dtype=np.float32
+        )
+        v_pad = np.zeros_like(k_pad)
+        for b, cache in enumerate(caches):
+            keys, values = cache.get(layer)
+            k_pad[b, : keys.shape[0]] = keys
+            v_pad[b, : values.shape[0]] = values
+        return k_pad, v_pad
 
     # ------------------------------------------------------------------
     # restoration helpers

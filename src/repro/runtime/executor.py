@@ -30,7 +30,7 @@ from __future__ import annotations
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.errors import ConfigError
 from repro.runtime.io_pool import IOWorkerPool
@@ -188,7 +188,7 @@ class RestoreExecutor:
         self,
         engine: "HCacheEngine",
         context_ids: Sequence[str],
-        reserve_tokens: int = 0,
+        reserve_tokens: "int | Mapping[str, int]" = 0,
     ) -> dict[str, "KVCache"]:
         """Restore several contexts concurrently through the shared pool.
 
@@ -199,25 +199,32 @@ class RestoreExecutor:
         scenario the simulator's ``restore_io_parallelism`` models in
         time.  Per-context results are bit-identical to restoring them
         one by one — restores share no mutable state but the pool and the
-        read-only storage.  Returns ``{context_id: KVCache}``; the first
-        failure propagates after the remaining drivers finish.
+        read-only storage.  ``reserve_tokens`` is one capacity for every
+        context or a per-context mapping (missing ids reserve 0 — only
+        each context's own expected length is worth preallocating).
+        Returns ``{context_id: KVCache}``; the first failure propagates
+        after the remaining drivers finish.
         """
         ids = list(context_ids)
         if len(set(ids)) != len(ids):
             raise ConfigError("restore_contexts needs distinct context ids")
         if not ids:
             return {}
+        if isinstance(reserve_tokens, int):
+            reserve = dict.fromkeys(ids, reserve_tokens)
+        else:
+            reserve = {cid: int(reserve_tokens.get(cid, 0)) for cid in ids}
         # Build the shared projection-weight stacks once, up front; the
         # lazy build is idempotent but racing it wastes work.
         engine.transformer._projection_stack()
         if len(ids) == 1:
-            return {ids[0]: engine.restore(ids[0], reserve_tokens, executor=self)}
+            return {ids[0]: engine.restore(ids[0], reserve[ids[0]], executor=self)}
         with ThreadPoolExecutor(
             max_workers=min(self.max_concurrent_restores, len(ids)),
             thread_name_prefix="hcache-restore",
         ) as drivers:
             futures = {
-                cid: drivers.submit(engine.restore, cid, reserve_tokens, None, self)
+                cid: drivers.submit(engine.restore, cid, reserve[cid], None, self)
                 for cid in ids
             }
             return {cid: futures[cid].result() for cid in ids}

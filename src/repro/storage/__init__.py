@@ -38,6 +38,7 @@ __all__ = [
     "QuantizedBlock",
     "SnapshotOutcome",
     "StagingRing",
+    "StorageArray",
     "StorageDevice",
     "StorageManager",
     "TieredBackend",

@@ -8,7 +8,6 @@ import pytest
 from repro.core.hcache import HCacheEngine
 from repro.core.partition import PartitionScheme
 from repro.errors import ConfigError, RestorationError, StateError
-from repro.models.transformer import Transformer
 
 
 def prompt(config, n, seed=0):

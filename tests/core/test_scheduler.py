@@ -8,7 +8,6 @@ from repro.core.partition import PartitionScheme
 from repro.core.profiler import HardwareProfile, profile_platform
 from repro.core.scheduler import BubbleFreeScheduler, evaluate_scheme
 from repro.errors import SchedulingError
-from repro.models.config import model_preset
 from repro.simulator.hardware import platform_preset
 
 

@@ -20,7 +20,7 @@ from repro.core.profiler import build_storage_array
 from repro.errors import ConfigError
 from repro.models.config import model_preset
 from repro.models.kv_cache import KVCache
-from repro.models.reference import NaiveKVCache, naive_restore_cache_from_hidden
+from repro.models.reference import NaiveKVCache
 from repro.models.transformer import Transformer
 from repro.simulator import platform_preset
 from repro.simulator.pipeline import LayerMethod

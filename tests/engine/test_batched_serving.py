@@ -1,0 +1,253 @@
+"""Batched multi-session serving through the numeric engine.
+
+``chat_rounds`` (restore burst + prefill + one batched decode call per
+output token) must generate the same token streams as per-session
+``chat_round`` calls, and ``decode_iteration`` must execute a
+continuous-batching iteration plan's decode set as a single model call
+— the wiring between ``ContinuousBatcher`` / ``SplitFuseScheduler``
+(time model) and ``NumericServingEngine`` (value model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hcache import HCacheEngine
+from repro.core.profiler import build_storage_array
+from repro.engine.batching import ContinuousBatcher, MemoryBudget
+from repro.engine.numeric_engine import NumericServingEngine
+from repro.engine.request import Phase, Request, RequestSpec
+from repro.engine.splitfuse import SplitFuseScheduler
+from repro.errors import ConfigError, StateError
+from repro.models.hidden_capture import HiddenCapture
+from repro.models.kv_cache import KVCache
+from repro.models.transformer import BATCHED_DECODE_ATOL
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture
+def make_engine(tiny_model, default_platform):
+    def build():
+        storage = StorageManager(build_storage_array(default_platform))
+        return NumericServingEngine(tiny_model, HCacheEngine(tiny_model, storage))
+
+    return build
+
+
+def open_sessions(engine, prompts):
+    for session_id in prompts:
+        engine.open_session(session_id)
+
+
+class TestChatRounds:
+    def test_matches_serial_chat_round(self, make_engine, tiny_config):
+        rng = np.random.default_rng(31)
+        prompts = {
+            "a": rng.integers(0, tiny_config.vocab_size, size=9),
+            "b": rng.integers(0, tiny_config.vocab_size, size=4),
+            "c": rng.integers(0, tiny_config.vocab_size, size=13),
+        }
+        serial = make_engine()
+        open_sessions(serial, prompts)
+        ref = {s: serial.chat_round(s, p, 6) for s, p in prompts.items()}
+        batched = make_engine()
+        open_sessions(batched, prompts)
+        out = batched.chat_rounds(list(prompts.items()), 6)
+        assert out == ref
+        for session_id in prompts:
+            a = serial.session(session_id)
+            b = batched.session(session_id)
+            assert a.tokens == b.tokens
+            assert b.kv_cache.equals(a.kv_cache, atol=BATCHED_DECODE_ATOL)
+
+    def test_second_round_with_mixed_eviction(self, make_engine, tiny_config):
+        """Round 2 batches a mix of evicted (restored) and resident sessions."""
+        rng = np.random.default_rng(32)
+        first = {s: rng.integers(0, tiny_config.vocab_size, size=7) for s in "abc"}
+        second = {s: rng.integers(0, tiny_config.vocab_size, size=5) for s in "abc"}
+        serial = make_engine()
+        open_sessions(serial, first)
+        for s, p in first.items():
+            serial.chat_round(s, p, 3)
+        batched = make_engine()
+        open_sessions(batched, first)
+        batched.chat_rounds(list(first.items()), 3)
+        for engine in (serial, batched):
+            engine.evict("a")
+            engine.evict("c")
+        ref = {s: serial.chat_round(s, p, 4) for s, p in second.items()}
+        out = batched.chat_rounds(list(second.items()), 4)
+        assert out == ref
+        for s in first:
+            assert batched.session(s).tokens == serial.session(s).tokens
+
+    def test_single_session_batch_matches_chat_round(self, make_engine, tiny_config):
+        rng = np.random.default_rng(33)
+        prompt = rng.integers(0, tiny_config.vocab_size, size=8)
+        serial = make_engine()
+        serial.open_session("s")
+        ref = serial.chat_round("s", prompt, 5)
+        batched = make_engine()
+        batched.open_session("s")
+        assert batched.chat_rounds([("s", prompt)], 5) == {"s": ref}
+
+    def test_evict_and_close_release_block_slots(self, make_engine, tiny_config):
+        """A dead session must not keep the shared stacked block bloated:
+        evict/close release the slot, survivors keep working."""
+        rng = np.random.default_rng(36)
+        prompts = {s: rng.integers(0, tiny_config.vocab_size, size=5) for s in "abc"}
+        engine = make_engine()
+        open_sessions(engine, prompts)
+        engine.chat_rounds(list(prompts.items()), 3)
+        cache_a = engine.session("a").kv_cache
+        cache_b = engine.session("b").kv_cache
+        block = cache_a.block
+        assert block is not None and cache_b.block is block
+        engine.evict("a")
+        assert cache_a.block is None
+        assert len(cache_a) == 0
+        engine.close_session("c")
+        with pytest.raises(StateError):
+            block.layer_lengths(0)  # released slots
+        # the survivor still decodes fine (block-backed, slot intact)
+        out = engine.chat_round("b", prompts["b"], 2)
+        assert len(out) == 2
+
+    def test_validation(self, make_engine):
+        engine = make_engine()
+        engine.open_session("s")
+        with pytest.raises(ConfigError):
+            engine.chat_rounds([], 3)
+        with pytest.raises(ConfigError):
+            engine.chat_rounds([("s", np.array([1]))], 0)
+        with pytest.raises(ConfigError):
+            engine.chat_rounds([("s", np.array([]))], 3)
+        with pytest.raises(ConfigError):
+            engine.chat_rounds([("s", np.array([1])), ("s", np.array([2]))], 3)
+        with pytest.raises(StateError):
+            engine.chat_rounds([("ghost", np.array([1]))], 3)
+
+
+class TestDecodeIteration:
+    def test_requires_resident_prefilled_sessions(self, make_engine, tiny_config):
+        engine = make_engine()
+        engine.open_session("s")
+        with pytest.raises(ConfigError):
+            engine.decode_iteration({})
+        with pytest.raises(StateError):
+            engine.decode_iteration({"s": 1})  # never prefilled, not on GPU
+        engine.chat_round("s", np.arange(4) % tiny_config.vocab_size, 2)
+        engine.evict("s")
+        with pytest.raises(StateError):
+            engine.decode_iteration({"s": 1})  # evicted
+
+    def test_matches_serial_decode_steps(self, make_engine, tiny_config):
+        rng = np.random.default_rng(34)
+        prompts = {s: rng.integers(0, tiny_config.vocab_size, size=6) for s in "ab"}
+        serial = make_engine()
+        batched = make_engine()
+        for engine in (serial, batched):
+            open_sessions(engine, prompts)
+            for s, p in prompts.items():
+                engine.chat_round(s, p, 1)
+        pending = {s: 3 for s in prompts}
+        for _ in range(4):
+            # serial reference: one forward per session through the
+            # plain transformer path on the serial engine's state
+            expected = {}
+            for s, token in pending.items():
+                state = serial.session(s)
+                result = serial.transformer.forward(
+                    np.array([token]), state.kv_cache, capture_hidden=True
+                )
+                serial.hcache.save_states(
+                    s, result.hidden_states, np.array([token]), kv_cache=state.kv_cache
+                )
+                state.tokens.append(token)
+                expected[s] = int(np.argmax(result.logits[-1]))
+            got = batched.decode_iteration(pending)
+            assert got == expected
+            pending = got
+        for s in prompts:
+            assert batched.session(s).tokens == serial.session(s).tokens
+            assert batched.session(s).kv_cache.equals(
+                serial.session(s).kv_cache, atol=BATCHED_DECODE_ATOL
+            )
+
+
+class TestContinuousBatchingWiring:
+    def test_iteration_plan_names_decode_sessions(self):
+        specs = [
+            RequestSpec(f"r{i}", f"s{i}", 0.0, 0, 4, 4) for i in range(3)
+        ]
+        requests = [Request(spec) for spec in specs]
+        for request in requests:
+            request.phase = Phase.DECODING
+        plan = SplitFuseScheduler(budget_tokens=64).plan(requests, [])
+        assert plan.decode_session_ids == ("s0", "s1", "s2")
+
+    def test_batcher_reports_decode_batch_sessions(self):
+        batcher = ContinuousBatcher(MemoryBudget(capacity_tokens=1000))
+        specs = [RequestSpec(f"r{i}", f"s{i}", 0.0, 0, 4, 4) for i in range(2)]
+        for spec in specs:
+            batcher.enqueue(Request(spec))
+        admitted = batcher.admit(now=0.0)
+        assert len(admitted) == 2
+        for request in admitted:
+            request.phase = Phase.DECODING
+        assert batcher.decode_batch_sessions() == ("s0", "s1")
+
+    def test_planned_iterations_drive_batched_numeric_decode(
+        self, make_engine, tiny_config
+    ):
+        """End-to-end serving loop: admission -> iteration plan -> ONE
+        batched numeric call per iteration, equivalent to serial serving."""
+        rng = np.random.default_rng(35)
+        prompts = {s: rng.integers(0, tiny_config.vocab_size, size=5) for s in "abc"}
+        n_out = 5
+
+        serial = make_engine()
+        open_sessions(serial, prompts)
+        ref = {s: serial.chat_round(s, p, n_out) for s, p in prompts.items()}
+
+        engine = make_engine()
+        open_sessions(engine, prompts)
+        batcher = ContinuousBatcher(MemoryBudget(capacity_tokens=1000))
+        scheduler = SplitFuseScheduler(budget_tokens=64)
+        requests = {}
+        for s, p in prompts.items():
+            spec = RequestSpec(f"req-{s}", s, 0.0, 0, int(p.size), n_out)
+            request = Request(spec)
+            requests[s] = request
+            batcher.enqueue(request)
+        admitted = batcher.admit(now=0.0)
+        assert len(admitted) == len(prompts)
+
+        # Prefill phase (serial block-level forwards as in chat_rounds'
+        # phase 2), producing each session's first generated token.
+        pending = {}
+        generated = {s: [] for s in prompts}
+        for s, p in prompts.items():
+            state = engine.session(s)
+            state.kv_cache = KVCache(tiny_config)
+            state.kv_cache.reserve(p.size + n_out)
+            capture = HiddenCapture(tiny_config.n_layers, tiny_config.hidden_size)
+            capture.reserve(p.size)
+            result = engine.transformer.forward(p, state.kv_cache, capture=capture)
+            engine.hcache.save_states(s, result.hidden_states, p, kv_cache=state.kv_cache)
+            state.tokens.extend(int(t) for t in p)
+            requests[s].phase = Phase.DECODING
+            pending[s] = int(np.argmax(result.logits[-1]))
+
+        # Decode iterations: the scheduler's plan picks the batch, the
+        # numeric engine executes it as one call.
+        for _ in range(n_out):
+            plan = scheduler.plan(batcher.decoding(), batcher.prefilling())
+            assert plan.decode_session_ids == batcher.decode_batch_sessions()
+            step = {s: pending[s] for s in plan.decode_session_ids}
+            for s, token in step.items():
+                generated[s].append(token)
+            next_tokens = engine.decode_iteration(step)
+            pending.update(next_tokens)
+        assert generated == ref

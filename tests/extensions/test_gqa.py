@@ -12,7 +12,6 @@ from repro.core.gqa import (
     with_kv_heads,
 )
 from repro.errors import ConfigError
-from repro.simulator.hardware import platform_preset
 
 
 class TestVariants:

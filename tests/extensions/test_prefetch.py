@@ -6,7 +6,6 @@ import pytest
 
 from repro.cache.prefetch import PrefetchingHCache
 from repro.errors import ConfigError
-from repro.models import model_preset
 from repro.simulator.hardware import platform_preset
 from repro.traces.arrival import ROUND_INTERVAL_SECONDS
 

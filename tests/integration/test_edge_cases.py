@@ -12,7 +12,6 @@ from repro.engine import ServingSimulator
 from repro.engine.request import RequestSpec
 from repro.errors import AllocationError
 from repro.models import Transformer, model_preset
-from repro.simulator import platform_preset
 from repro.storage import StorageManager
 
 

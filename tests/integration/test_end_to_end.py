@@ -9,8 +9,7 @@ from repro.baselines import KVOffloadMethod, RecomputationMethod, default_method
 from repro.core import HCacheEngine
 from repro.core.profiler import build_storage_array
 from repro.engine import NumericServingEngine, simulate_methods
-from repro.models import KVCache, Transformer, model_preset
-from repro.simulator import platform_preset
+from repro.models import KVCache
 from repro.storage import StorageManager
 from repro.traces import ShareGPTGenerator, build_workload
 

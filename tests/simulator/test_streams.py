@@ -50,7 +50,7 @@ class TestScheduling:
         sched = StreamSchedule()
         io1 = sched.submit("io1", "io", 1.0)
         io2 = sched.submit("io2", "io", 1.0)
-        p1 = sched.submit("p1", "compute", 5.0, deps=(io1,))
+        sched.submit("p1", "compute", 5.0, deps=(io1,))
         p2 = sched.submit("p2", "compute", 1.0, deps=(io2,))
         sched.run()
         # p2's data is ready at t=2 but the compute stream is busy until 6.

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, StateError
-from repro.storage.manager import StorageManager
 
 
 def rows(n: int, width: int, seed: int = 0) -> np.ndarray:
