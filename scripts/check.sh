@@ -25,7 +25,10 @@
 #     sessions >= 2x the serial per-session loop at 1k tokens — the
 #     serving-scale context; 4k is recorded but attention-bandwidth-
 #     bound — with batched caches/logits inside the pinned
-#     BATCHED_DECODE_ATOL at every measured size).
+#     BATCHED_DECODE_ATOL at every measured size),
+#   - the PR-6 durable-restore gate (all-primaries-dead failover reads
+#     bit-exact and <= 2x the healthy restore's wall clock; journaled
+#     save -> full in-memory drop -> recover -> bit-exact restore).
 # Hot-path regressions fail here before the committed numbers drift.
 #
 # CHECK_RELAX_TIMING=1 (set by CI) widens the timing thresholds
@@ -54,7 +57,16 @@ python -m pytest -x -q
 echo "== doc freshness (README module map vs src/repro) =="
 python scripts/check_docs.py
 
-echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k) =="
+# The crash-safety surfaces get their own named gate even though tier-1
+# already includes these files: a recovery regression should fail with
+# "crash-recovery smoke" in the log, not as one -x casualty among 900+
+# tests, and this stays green even if the tier-1 invocation above is
+# ever narrowed.
+echo "== crash-recovery smoke (journal truncation property, crash-window recovery, kill-and-resume) =="
+python -m pytest -q tests/storage/test_journal.py tests/storage/test_recovery.py \
+    tests/integration/test_kill_and_resume.py
+
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k + degraded/recovered restore) =="
 python benchmarks/bench_hotpath.py --smoke
 
 echo "all checks passed"

@@ -21,7 +21,7 @@ from repro.core.partition import PartitionScheme
 from repro.core.profiler import profile_platform
 from repro.core.restoration import RestorationTiming, scheme_timing
 from repro.core.scheduler import BubbleFreeScheduler, ScheduleDecision
-from repro.errors import ConfigError, RestorationError, StateError
+from repro.errors import ConfigError, RecoveryError, RestorationError, StateError
 from repro.models.kv_cache import KVCache
 from repro.models.transformer import ProjectionStats, Transformer
 from repro.simulator.hardware import Platform
@@ -136,7 +136,6 @@ class HCacheEngine:
             self.scheme = PartitionScheme.pure_hcache(config.n_layers)
             self.decision = None
         self._contexts: dict[str, int] = {}
-        self._tokens: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
     # saving
@@ -153,7 +152,6 @@ class HCacheEngine:
             dtype=np.float32,
         )
         self._contexts[context_id] = 0
-        self._tokens[context_id] = []
 
     def has_context(self, context_id: str) -> bool:
         return context_id in self._contexts
@@ -203,6 +201,10 @@ class HCacheEngine:
         if self.scheme.n_kv and kv_cache is None:
             raise ConfigError("scheme KV-offloads layers; a kv_cache is required to save them")
         start = self.saved_tokens(context_id)
+        # Token ids are journaled ahead of the state rows: the durable log
+        # then always covers the durable rows, so crash recovery can
+        # truncate it to the recovered row count without inventing ids.
+        self.storage.journal_tokens(context_id, tokens)
         for layer, method in enumerate(self.scheme.methods):
             if method is LayerMethod.HIDDEN:
                 self.storage.append(context_id, layer, hidden_states[layer], kind="hidden")
@@ -222,7 +224,6 @@ class HCacheEngine:
                     kind="kv",
                 )
         self._contexts[context_id] = start + n_new
-        self._tokens[context_id].extend(int(t) for t in tokens)
 
     def seal(self, context_id: str) -> None:
         """Flush tail chunks when a round ends and GPU state is evicted."""
@@ -234,10 +235,66 @@ class HCacheEngine:
         self.saved_tokens(context_id)
         self.storage.free_context(context_id)
         del self._contexts[context_id]
-        del self._tokens[context_id]
+
+    def token_log(self, context_id: str) -> tuple[int, ...]:
+        """The context's saved token ids (the prompt log), oldest first."""
+        self.saved_tokens(context_id)
+        return self.storage.token_log(context_id)
+
+    def context_ids(self) -> tuple[str, ...]:
+        return tuple(self._contexts)
 
     def saved_context(self, context_id: str) -> SavedContext:
         return SavedContext(context_id, self.scheme, self.saved_tokens(context_id))
+
+    @classmethod
+    def recover(
+        cls,
+        transformer: Transformer,
+        storage: StorageManager,
+        platform: Platform | None = None,
+        scheme: PartitionScheme | None = None,
+        stream_granule_chunks: int = 4,
+    ) -> "HCacheEngine":
+        """Adopt a crash-recovered storage manager's contexts.
+
+        ``storage`` comes from :meth:`StorageManager.recover`; every
+        context it holds is re-registered with this engine at its durable
+        token count, ready for a normal :meth:`restore`.  The model and
+        scheme must match the ones the states were saved under — shape
+        mismatches (wrong model) and per-layer row counts that contradict
+        the scheme's layer methods raise
+        :class:`~repro.errors.RecoveryError` rather than restoring wrong
+        state.
+        """
+        engine = cls(transformer, storage, platform, scheme, stream_granule_chunks)
+        config = transformer.config
+        for context_id in storage.context_ids():
+            meta = storage.meta(context_id)
+            if meta.n_layers != config.n_layers or meta.hidden_width != config.hidden_size:
+                raise RecoveryError(
+                    f"context {context_id!r} was saved for a "
+                    f"{meta.n_layers}x{meta.hidden_width} model; this model is "
+                    f"{config.n_layers}x{config.hidden_size}"
+                )
+            n_tokens = len(storage.token_log(context_id))
+            for layer, method in enumerate(engine.scheme.methods):
+                kind = None
+                if method is LayerMethod.HIDDEN:
+                    kind = "hidden"
+                elif method is LayerMethod.KV:
+                    kind = "kv"
+                if kind is None:
+                    continue
+                stored = storage.tokens_stored(context_id, layer, kind=kind)
+                if stored != n_tokens:
+                    raise RecoveryError(
+                        f"context {context_id!r} layer {layer} holds {stored} "
+                        f"{kind} rows but {n_tokens} tokens are durable — was it "
+                        f"saved under a different partition scheme?"
+                    )
+            engine._contexts[context_id] = n_tokens
+        return engine
 
     # ------------------------------------------------------------------
     # restoration
@@ -307,7 +364,7 @@ class HCacheEngine:
         if timed:
             stats.n_tokens = n_tokens
         if self.scheme.n_recompute:
-            tokens = np.array(self._tokens[context_id])
+            tokens = np.array(self.storage.token_log(context_id)[:n_tokens])
             t0 = time.perf_counter() if timed else 0.0
             cache, _ = self.transformer.recompute_prefix(tokens, self.scheme.n_recompute)
             if timed:

@@ -68,6 +68,30 @@ class NumericServingEngine:
         self.executor = executor
         self._sessions: dict[str, SessionState] = {}
 
+    @classmethod
+    def recover(
+        cls,
+        transformer: Transformer,
+        hcache: HCacheEngine,
+        executor: RestoreExecutor | None = None,
+    ) -> "NumericServingEngine":
+        """Re-open every session a crash-recovered HCache engine holds.
+
+        ``hcache`` comes from :meth:`HCacheEngine.recover`; each of its
+        contexts becomes an evicted session whose token log is the
+        durable log — the next :meth:`chat_round` restores its KV cache
+        through the completely ordinary restore path.  Tokens past the
+        durability boundary (unsealed tail rows lost in the crash) are
+        simply absent from the log, as if they were never generated.
+        """
+        engine = cls(transformer, hcache, executor)
+        for context_id in hcache.context_ids():
+            engine._sessions[context_id] = SessionState(
+                session_id=context_id,
+                tokens=list(hcache.token_log(context_id)[: hcache.saved_tokens(context_id)]),
+            )
+        return engine
+
     def open_session(self, session_id: str) -> SessionState:
         """Start a new conversation."""
         if session_id in self._sessions:

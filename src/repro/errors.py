@@ -42,3 +42,33 @@ class SimulationError(ReproError):
 
 class RestorationError(ReproError):
     """A state restoration failed or produced inconsistent results."""
+
+
+class DeviceFault(ReproError):
+    """A storage device operation failed (injected or simulated hardware fault).
+
+    Raised by :class:`repro.storage.faults.FaultPolicy` hooks before the
+    operation touches any payload, so a faulted write stores nothing and a
+    faulted read returns nothing — the caller (or a replication layer) sees
+    a clean failure it can retry against a mirror.
+    """
+
+
+class JournalCorruptError(ReproError):
+    """The manifest journal holds a complete but corrupt record.
+
+    A *torn tail* (short final record, the normal crash artifact of an
+    append-only file) is not corruption — replay truncates it and recovers
+    the strict prefix.  This error means a record in the middle of the
+    durable prefix fails its checksum or cannot be decoded: recovery must
+    stop loudly rather than rebuild silently wrong metadata.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery found journal metadata and device contents disagreeing.
+
+    Examples: a journaled chunk missing from its device, a sealed tail whose
+    payload fails its journaled checksum, or a token log shorter than the
+    durably readable rows it must describe.
+    """

@@ -151,36 +151,50 @@ class RestoreExecutor:
 
         for _ in range(self.inflight):
             submit_next()
-        while pending:
-            spec, view, future = pending.popleft()
-            t0 = perf_counter() if timed else 0.0
-            io_seconds, device_reads = future.result()
-            if timed:
-                stats.read_s += perf_counter() - t0
-                stats.granules += 1
-                stats.device_reads += device_reads
-                io_times.append(io_seconds)
-            # Refill the window before consuming, so the next read runs
-            # under this granule's projection — the §4.1 overlap.  Ring
-            # depth is inflight + 1, so the slot this submit recycles
-            # was acquired inflight + 1 submissions earlier — the
-            # granule consumed in the previous loop iteration, never the
-            # live `view` (which was acquired only inflight ago).
-            submit_next()
-            t0 = perf_counter() if timed else 0.0
-            consume(
-                LayerChunk(
-                    layer=spec.layer,
-                    kind=spec.kind,
-                    start=spec.start,
-                    stop=spec.stop,
-                    data=view,
-                    io_seconds=io_seconds,
-                    device_reads=device_reads,
+        try:
+            while pending:
+                spec, view, future = pending.popleft()
+                t0 = perf_counter() if timed else 0.0
+                io_seconds, device_reads = future.result()
+                if timed:
+                    stats.read_s += perf_counter() - t0
+                    stats.granules += 1
+                    stats.device_reads += device_reads
+                    io_times.append(io_seconds)
+                # Refill the window before consuming, so the next read runs
+                # under this granule's projection — the §4.1 overlap.  Ring
+                # depth is inflight + 1, so the slot this submit recycles
+                # was acquired inflight + 1 submissions earlier — the
+                # granule consumed in the previous loop iteration, never the
+                # live `view` (which was acquired only inflight ago).
+                submit_next()
+                t0 = perf_counter() if timed else 0.0
+                consume(
+                    LayerChunk(
+                        layer=spec.layer,
+                        kind=spec.kind,
+                        start=spec.start,
+                        stop=spec.stop,
+                        data=view,
+                        io_seconds=io_seconds,
+                        device_reads=device_reads,
+                    )
                 )
-            )
-            if timed:
-                compute_times.append(perf_counter() - t0)
+                if timed:
+                    compute_times.append(perf_counter() - t0)
+        except BaseException:
+            # Containment: a failed read (e.g. every replica of a device
+            # faulted) or a failed consume must not leave in-flight workers
+            # filling staging slots this drain abandoned.  Settle every
+            # outstanding future before propagating, so the pool is clean
+            # for the next restore.  (CancelledError is a BaseException.)
+            for _, _, future in pending:
+                future.cancel()
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+            raise
 
     # -- concurrent multi-context restore ------------------------------
 

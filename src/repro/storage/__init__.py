@@ -11,7 +11,15 @@ from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
 from repro.storage.codec import GroupQuantizer, QuantizedBlock, quantization_logit_drift
 from repro.storage.daemon import FlushDaemon, SnapshotOutcome
 from repro.storage.device import IOReceipt, LatencyEmulator, StorageDevice
+from repro.storage.faults import FaultPolicy
+from repro.storage.journal import (
+    ContextManifest,
+    ManifestJournal,
+    ManifestState,
+    RunManifest,
+)
 from repro.storage.manager import ContextMeta, StorageManager
+from repro.storage.replicated import ReplicatedDevice
 from repro.storage.streaming import (
     GranuleSpec,
     LayerChunk,
@@ -27,7 +35,9 @@ __all__ = [
     "ChunkKey",
     "ChunkLayout",
     "ChunkRun",
+    "ContextManifest",
     "ContextMeta",
+    "FaultPolicy",
     "FlushDaemon",
     "GranuleSpec",
     "GroupQuantizer",
@@ -35,7 +45,11 @@ __all__ = [
     "LatencyEmulator",
     "LayerChunk",
     "LayerReadTiming",
+    "ManifestJournal",
+    "ManifestState",
     "QuantizedBlock",
+    "ReplicatedDevice",
+    "RunManifest",
     "SnapshotOutcome",
     "StagingRing",
     "StorageArray",

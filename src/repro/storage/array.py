@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.simulator.hardware import DRAMSpec, SSDSpec
 from repro.storage.device import LatencyEmulator, StorageDevice
+from repro.storage.replicated import ReplicatedDevice
 
 
 @dataclass(frozen=True)
@@ -37,18 +38,39 @@ class LayerReadTiming:
 
 
 class StorageArray:
-    """A set of identical devices with round-robin chunk placement."""
+    """A set of identical devices with round-robin chunk placement.
+
+    With ``replication=2`` every round-robin slot becomes a
+    :class:`~repro.storage.replicated.ReplicatedDevice` — a primary plus a
+    same-spec mirror — so chunk writes are mirrored and reads fail over on
+    an injected device fault.  Placement, striping, and the read-timing
+    model are unchanged: a healthy replicated array performs exactly like
+    an unreplicated one, paying only the doubled write traffic.
+    """
 
     def __init__(
         self,
         specs: tuple[SSDSpec | DRAMSpec, ...] | list[SSDSpec | DRAMSpec],
         link_bandwidth: float,
+        replication: int = 1,
     ) -> None:
         if not specs:
             raise ConfigError("storage array needs at least one device")
         if link_bandwidth <= 0:
             raise ConfigError("link bandwidth must be positive")
-        self.devices = [StorageDevice(spec, i) for i, spec in enumerate(specs)]
+        if replication not in (1, 2):
+            raise ConfigError("replication must be 1 (off) or 2 (mirrored)")
+        primaries = [StorageDevice(spec, i) for i, spec in enumerate(specs)]
+        if replication == 2:
+            mirrors = [
+                StorageDevice(spec, i + len(specs)) for i, spec in enumerate(specs)
+            ]
+            self.devices: list[StorageDevice | ReplicatedDevice] = [
+                ReplicatedDevice(p, m) for p, m in zip(primaries, mirrors)
+            ]
+        else:
+            self.devices = list(primaries)
+        self.replication = replication
         self.link_bandwidth = float(link_bandwidth)
         self._emulator: LatencyEmulator | None = None
 
@@ -83,7 +105,31 @@ class StorageArray:
     def __len__(self) -> int:
         return len(self.devices)
 
-    def device_for(self, chunk_index: int, offset: int = 0) -> StorageDevice:
+    @property
+    def degraded_reads(self) -> int:
+        """Failover reads served by mirrors across the whole array."""
+        return sum(getattr(d, "degraded_reads", 0) for d in self.devices)
+
+    def replica(self, index: int, role: str = "primary") -> StorageDevice:
+        """The raw :class:`StorageDevice` behind round-robin slot ``index``.
+
+        ``role`` picks ``"primary"`` or ``"mirror"`` on a replicated
+        array; unreplicated arrays only have the primary.  This is the
+        hook fault injection scripts use to fail one replica: set
+        ``array.replica(i).fault_policy``.
+        """
+        if index < 0 or index >= len(self.devices):
+            raise ConfigError(f"device index {index} out of range")
+        if role not in ("primary", "mirror"):
+            raise ConfigError(f"unknown replica role {role!r}")
+        device = self.devices[index]
+        if isinstance(device, ReplicatedDevice):
+            return device.primary if role == "primary" else device.mirror
+        if role == "mirror":
+            raise ConfigError("array is not replicated; it has no mirrors")
+        return device
+
+    def device_for(self, chunk_index: int, offset: int = 0) -> "StorageDevice | ReplicatedDevice":
         """Round-robin placement: chunk ``i`` lives on device ``(i + offset) mod n``.
 
         The ``offset`` (the storage manager passes the layer index) rotates
@@ -110,7 +156,7 @@ class StorageArray:
                         for d in self.devices)
         return min(device_bw, self.link_bandwidth)
 
-    def _device_read_bw(self, device: StorageDevice) -> float:
+    def _device_read_bw(self, device: "StorageDevice | ReplicatedDevice") -> float:
         spec = device.spec
         return getattr(spec, "read_bandwidth", None) or spec.bandwidth
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import AllocationError, ConfigError, StateError
 from repro.simulator.hardware import DRAMSpec, SSDSpec
+from repro.storage.faults import FaultPolicy
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,11 @@ class StorageDevice:
         self.device_id = device_id
         #: When set, every operation sleeps its modelled seconds for real.
         self.emulator: LatencyEmulator | None = None
+        #: When set, every operation is gated by the scripted fault policy
+        #: *before* touching any payload: a faulted write stores nothing, a
+        #: faulted read moves nothing, and latency spikes add modelled
+        #: seconds to the receipt (see :mod:`repro.storage.faults`).
+        self.fault_policy: FaultPolicy | None = None
         self._data: dict[Hashable, np.ndarray] = {}
         self._used_bytes = 0
         self._busy_seconds = 0.0
@@ -182,6 +188,18 @@ class StorageDevice:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
+    def _fault_gate(self, is_read: bool) -> float:
+        """Consult the fault policy first; return extra modelled seconds.
+
+        Raises:
+            DeviceFault: when the policy scripts this operation to fail.
+        """
+        if self.fault_policy is None:
+            return 0.0
+        if is_read:
+            return self.fault_policy.on_read(self.name)
+        return self.fault_policy.on_write(self.name)
+
     def _account(self, seconds: float, is_read: bool) -> None:
         with self._stats_lock:
             self._busy_seconds += seconds
@@ -199,7 +217,10 @@ class StorageDevice:
             AllocationError: if the device would exceed its capacity.
             StateError: if ``key`` is already present (chunks are written
                 once; appends rewrite under a new key).
+            DeviceFault: if an attached fault policy scripts this write to
+                fail — before anything is stored.
         """
+        extra = self._fault_gate(is_read=False)
         if key in self._data:
             raise StateError(f"{self.name}: key {key!r} already written")
         nbytes = int(payload.nbytes)
@@ -210,16 +231,17 @@ class StorageDevice:
             )
         self._data[key] = np.array(payload, copy=True)
         self._used_bytes += nbytes
-        seconds = self.spec.write_time(nbytes)
+        seconds = self.spec.write_time(nbytes) + extra
         self._account(seconds, is_read=False)
         return IOReceipt(nbytes, seconds)
 
     def read(self, key: Hashable) -> tuple[np.ndarray, IOReceipt]:
         """Return a copy of the stored payload plus the timed receipt."""
+        extra = self._fault_gate(is_read=True)
         if key not in self._data:
             raise StateError(f"{self.name}: key {key!r} not present")
         payload = self._data[key]
-        seconds = self.spec.read_time(int(payload.nbytes))
+        seconds = self.spec.read_time(int(payload.nbytes)) + extra
         self._account(seconds, is_read=True)
         return np.array(payload, copy=True), IOReceipt(int(payload.nbytes), seconds)
 
@@ -231,8 +253,11 @@ class StorageDevice:
         the functional analogue of a DMA into a pinned staging buffer.
         Safe to call from an IO worker thread: ``out`` must simply not be
         read by the consumer until this returns (the staging-ring slot
-        ownership rule).
+        ownership rule).  An injected :class:`~repro.errors.DeviceFault`
+        fires before any copy, so ``out`` is untouched and a replication
+        layer can retry the same slot against a mirror.
         """
+        extra = self._fault_gate(is_read=True)
         if key not in self._data:
             raise StateError(f"{self.name}: key {key!r} not present")
         payload = self._data[key]
@@ -242,7 +267,7 @@ class StorageDevice:
                 f"stored chunk {payload.shape}"
             )
         np.copyto(out, payload)
-        seconds = self.spec.read_time(int(payload.nbytes))
+        seconds = self.spec.read_time(int(payload.nbytes)) + extra
         self._account(seconds, is_read=True)
         return IOReceipt(int(payload.nbytes), seconds)
 

@@ -1,0 +1,119 @@
+"""Deterministic fault injection for storage devices.
+
+A :class:`FaultPolicy` attached to a :class:`~repro.storage.device.
+StorageDevice` (via its ``fault_policy`` attribute) is consulted *before*
+every read and write: it can raise :class:`repro.errors.DeviceFault` for
+scripted operation ordinals, kill the device outright from some point on,
+or add deterministic latency spikes to the modelled seconds.  Tests and
+the benchmark use it to script failures exactly — "fail the 3rd read",
+"primary dead from the start" — so failover and recovery behaviour is
+reproducible rather than racy.
+
+The policy counts operations per attached device instance and is
+thread-safe: the restore executor's IO workers may hit the same device
+concurrently, and the Nth-operation semantics must stay exact under that
+interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Collection
+
+from repro.errors import ConfigError, DeviceFault
+
+
+class FaultPolicy:
+    """Scripted, deterministic device failures.
+
+    Args:
+        fail_reads: 1-based read ordinals that raise :class:`DeviceFault`.
+        fail_writes: 1-based write ordinals that raise.
+        fail_reads_from: Every read from this ordinal on fails (a dead or
+            unplugged device, read-side).
+        fail_writes_from: Every write from this ordinal on fails.
+        read_latency_spike_s: Extra modelled seconds added to every
+            ``spike_every``-th read (a stalling-but-working device).
+        spike_every: Period of the latency spikes; 0 disables them.
+
+    The ordinals count operations *arriving at the device the policy is
+    attached to*, after any replication routing — attaching a policy to a
+    :class:`~repro.storage.replicated.ReplicatedDevice`'s primary scripts
+    primary failures without touching the mirror.
+    """
+
+    def __init__(
+        self,
+        fail_reads: Collection[int] = (),
+        fail_writes: Collection[int] = (),
+        fail_reads_from: int | None = None,
+        fail_writes_from: int | None = None,
+        read_latency_spike_s: float = 0.0,
+        spike_every: int = 0,
+    ) -> None:
+        if any(n < 1 for n in fail_reads) or any(n < 1 for n in fail_writes):
+            raise ConfigError("fault ordinals are 1-based")
+        if fail_reads_from is not None and fail_reads_from < 1:
+            raise ConfigError("fail_reads_from is a 1-based ordinal")
+        if fail_writes_from is not None and fail_writes_from < 1:
+            raise ConfigError("fail_writes_from is a 1-based ordinal")
+        if read_latency_spike_s < 0:
+            raise ConfigError("latency spikes must be non-negative")
+        if spike_every < 0:
+            raise ConfigError("spike_every must be non-negative")
+        self.fail_reads = frozenset(int(n) for n in fail_reads)
+        self.fail_writes = frozenset(int(n) for n in fail_writes)
+        self.fail_reads_from = fail_reads_from
+        self.fail_writes_from = fail_writes_from
+        self.read_latency_spike_s = float(read_latency_spike_s)
+        self.spike_every = int(spike_every)
+        self._lock = threading.Lock()
+        self._reads_seen = 0
+        self._writes_seen = 0
+        self._faults_injected = 0
+
+    @classmethod
+    def dead(cls) -> "FaultPolicy":
+        """A device that fails every operation — total loss of one replica."""
+        return cls(fail_reads_from=1, fail_writes_from=1)
+
+    @property
+    def faults_injected(self) -> int:
+        with self._lock:
+            return self._faults_injected
+
+    @property
+    def ops_seen(self) -> tuple[int, int]:
+        """``(reads, writes)`` the policy has inspected."""
+        with self._lock:
+            return self._reads_seen, self._writes_seen
+
+    def on_read(self, device_name: str) -> float:
+        """Gate one read; return extra modelled seconds or raise."""
+        with self._lock:
+            self._reads_seen += 1
+            n = self._reads_seen
+            fail = n in self.fail_reads or (
+                self.fail_reads_from is not None and n >= self.fail_reads_from
+            )
+            if fail:
+                self._faults_injected += 1
+        if fail:
+            raise DeviceFault(f"{device_name}: injected fault on read #{n}")
+        if self.spike_every and n % self.spike_every == 0:
+            return self.read_latency_spike_s
+        return 0.0
+
+    def on_write(self, device_name: str) -> float:
+        """Gate one write; return extra modelled seconds or raise."""
+        with self._lock:
+            self._writes_seen += 1
+            n = self._writes_seen
+            fail = n in self.fail_writes or (
+                self.fail_writes_from is not None and n >= self.fail_writes_from
+            )
+            if fail:
+                self._faults_injected += 1
+        if fail:
+            raise DeviceFault(f"{device_name}: injected fault on write #{n}")
+        return 0.0

@@ -10,20 +10,40 @@ a chunk is fully populated, it is promptly written to the NVMe device",
 §5), while the partially filled tail chunk stays in a host-side buffer
 until :meth:`StorageManager.seal_context` or further appends fill it.
 Restoration reads token-before-layer: one call fetches a whole layer.
+
+Durability (optional): with a :class:`~repro.storage.journal.
+ManifestJournal` attached, every metadata mutation is journaled and
+:meth:`StorageManager.recover` rebuilds a manager from journal + device
+chunks alone after a crash.  The commit-point ordering is strict — device
+write first, journal record second — so a journaled chunk is always
+readable and an unjournaled device chunk is an orphan recovery sweeps; a
+crash between the two can therefore never double-count tokens.  Sealed
+partial tails follow the same discipline: when appends grow a sealed
+partial, its stale device copy is *kept* (still journaled, still durable)
+until the moment the refilled chunk rewrites that slot, shrinking the
+crash window to the single delete+write+journal step that write-once
+devices force.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError, StateError
+from repro.errors import ConfigError, RecoveryError, StateError
 from repro.storage.allocator import ChunkAllocator
 from repro.storage.array import LayerReadTiming, StorageArray
 from repro.storage.chunk import CHUNK_TOKENS, ChunkKey, ChunkLayout
+from repro.storage.journal import ContextManifest, ManifestJournal, ManifestState, RunManifest
 from repro.storage.streaming import GranuleSpec, LayerChunk, StagingRing
+
+
+def _payload_crc(payload: np.ndarray) -> int:
+    """CRC32 of a chunk payload's bytes (row-major, any input layout)."""
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes())
 
 
 class _TailBuffer:
@@ -68,21 +88,38 @@ class StorageManager:
         array: StorageArray,
         capacity_bytes: int | None = None,
         tokens_per_chunk: int = CHUNK_TOKENS,
+        journal: ManifestJournal | None = None,
+        journal_compact_bytes: int = 1 << 20,
     ) -> None:
         if tokens_per_chunk <= 0:
             raise ConfigError("tokens_per_chunk must be positive")
+        if journal_compact_bytes <= 0:
+            raise ConfigError("journal_compact_bytes must be positive")
         total_capacity = capacity_bytes
         if total_capacity is None:
             total_capacity = sum(d.capacity_bytes for d in array.devices)
         self.array = array
         self.tokens_per_chunk = tokens_per_chunk
         self.allocator = ChunkAllocator(total_capacity)
+        #: Optional write-ahead manifest journal; ``None`` leaves the hot
+        #: path exactly as before (no journaling, no crash safety).
+        self.journal = journal
+        #: Log size that triggers a compacted snapshot (checked at seals).
+        self.journal_compact_bytes = int(journal_compact_bytes)
         self._meta: dict[str, ContextMeta] = {}
         #: Host-side partially filled tail chunks: run key -> staging buffer.
         self._tails: dict[tuple[str, int, str], _TailBuffer] = {}
         #: Runs whose tail is also persisted on a device as a partial chunk
         #: (written by seal_context; rewritten when the chunk later fills).
         self._sealed_partial: set[tuple[str, int, str]] = set()
+        #: Sealed partials whose run has since grown: run key -> (chunk
+        #: index, sealed row count).  The stale device copy stays durable
+        #: until the refilled chunk rewrites its slot.
+        self._stale_partial: dict[tuple[str, int, str], tuple[int, int]] = {}
+        #: Durable token log per context (mirrors the journal's records).
+        self._token_logs: dict[str, list[int]] = {}
+        #: CRC32 of journaled full chunks (compaction snapshot input).
+        self._chunk_crcs: dict[ChunkKey, int] = {}
 
     # ------------------------------------------------------------------
     # context lifecycle
@@ -108,6 +145,17 @@ class StorageManager:
             dtype=np.dtype(dtype),
         )
         self._meta[context_id] = meta
+        self._token_logs[context_id] = []
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "op": "register",
+                    "context_id": context_id,
+                    "n_layers": n_layers,
+                    "hidden_width": hidden_width,
+                    "dtype": str(meta.dtype),
+                }
+            )
         return meta
 
     def has_context(self, context_id: str) -> bool:
@@ -126,21 +174,56 @@ class StorageManager:
         first save — so freeing is a no-op for the allocator in that case.
         """
         meta = self.meta(context_id)
+        # Journal the free *before* any deletion: replaying a prefix that
+        # stops short of this record still describes readable chunks,
+        # while a prefix that includes it never resurrects a half-deleted
+        # context.  Device keys already gone at replay are no
+        # contradiction — recovery sweeps, it does not require, freed
+        # chunks.
+        if self.journal is not None:
+            self.journal.append({"op": "free", "context_id": context_id})
         freed = 0
         if self.allocator.has_context_runs(context_id):
             freed = self.allocator.free_context(context_id)
         for key in [k for k in self._tails if k[0] == context_id]:
             del self._tails[key]
             self._sealed_partial.discard(key)
+            self._stale_partial.pop(key, None)
         for device in self.array.devices:
             for key in device.keys():
                 if isinstance(key, ChunkKey) and key.context_id == context_id:
                     device.delete(key)
+        for key in [k for k in self._chunk_crcs if k.context_id == context_id]:
+            del self._chunk_crcs[key]
+        self._token_logs.pop(context_id, None)
         del self._meta[meta.context_id]
         return freed
 
     def context_ids(self) -> tuple[str, ...]:
         return tuple(self._meta)
+
+    def journal_tokens(self, context_id: str, ids: Sequence[int]) -> None:
+        """Append token ids to the context's durable token log.
+
+        The engine calls this *before* appending the block's state rows,
+        so the journaled log always covers (is at least as long as) the
+        durably readable rows.  Recovery then truncates the log down to
+        the durable row count — it never has to invent token ids, and a
+        crash between this record and the rows' device writes costs
+        nothing but a few spurious log entries.
+        """
+        self.meta(context_id)
+        ids = [int(t) for t in ids]
+        if not ids:
+            return
+        self._token_logs.setdefault(context_id, []).extend(ids)
+        if self.journal is not None:
+            self.journal.append({"op": "tokens", "context_id": context_id, "ids": ids})
+
+    def token_log(self, context_id: str) -> tuple[int, ...]:
+        """The context's logged token ids, oldest first."""
+        self.meta(context_id)
+        return tuple(self._token_logs.get(context_id, ()))
 
     # ------------------------------------------------------------------
     # saving (layer-before-token)
@@ -182,12 +265,16 @@ class StorageManager:
         run = self.allocator.run(context_id, layer, kind)
         flushed_tokens = run.n_tokens - tail.n
         if run_key in self._sealed_partial:
-            # The tail chunk was persisted at the last seal; it grows now,
-            # so retire the stale partial copy (the host buffer still holds
-            # the rows) and rewrite it once it fills or is sealed again.
-            partial_index = flushed_tokens // self.tokens_per_chunk
-            key = ChunkKey(context_id, layer, partial_index, kind)
-            self.array.device_for(partial_index, offset=layer).delete(key)
+            # The tail chunk was persisted at the last seal; it grows now.
+            # Its stale device copy is NOT deleted here: the sealed rows
+            # stay durable (and journaled) until the refilled chunk — or a
+            # re-seal — rewrites the same slot, at which point flush/seal
+            # retire it immediately before the replacement write.  A crash
+            # anywhere in between loses only the new, never-sealed rows.
+            self._stale_partial[run_key] = (
+                flushed_tokens // self.tokens_per_chunk,
+                tail.n,
+            )
             self._sealed_partial.discard(run_key)
         self.allocator.extend(context_id, layer, kind, states.shape[0])
         # Stream the block through: aligned full chunks flush as slice
@@ -199,7 +286,30 @@ class StorageManager:
             nonlocal flushed_tokens
             chunk_index = flushed_tokens // cpc
             key = ChunkKey(context_id, layer, chunk_index, kind)
-            self.array.device_for(chunk_index, offset=layer).write(key, payload)
+            device = self.array.device_for(chunk_index, offset=layer)
+            stale = self._stale_partial.get(run_key)
+            if stale is not None and stale[0] == chunk_index:
+                # Retire the sealed partial's stale copy only now, just
+                # before its full replacement lands in the same slot.
+                device.delete(key)
+                del self._stale_partial[run_key]
+            device.write(key, payload)
+            # Commit point: journal AFTER the device write.  A journaled
+            # chunk is always readable; an unjournaled device chunk is an
+            # orphan recovery sweeps — never a double-counted token.
+            if self.journal is not None:
+                crc = _payload_crc(payload)
+                self._chunk_crcs[key] = crc
+                self.journal.append(
+                    {
+                        "op": "chunk",
+                        "context_id": context_id,
+                        "layer": layer,
+                        "kind": kind,
+                        "index": chunk_index,
+                        "crc": crc,
+                    }
+                )
             flushed_tokens += cpc
 
         pos = 0
@@ -225,8 +335,16 @@ class StorageManager:
         devices.  The host buffer keeps the tail rows so a later round can
         grow the partial chunk (it is then rewritten, write-once devices
         cannot append in place).
+
+        With a journal attached, sealing is also the durability boundary
+        for partial tails: one ``seal`` record commits every tail written
+        here (chunk index, row count, payload CRC), and the journal is
+        compacted when its log has outgrown
+        :attr:`journal_compact_bytes`.  Unsealed tail rows are the loss
+        window a crash pays — bounded by one chunk per (layer, kind) run.
         """
         self.meta(context_id)
+        sealed: list[dict] = []
         for run_key in list(self._tails):
             ctx, layer, kind = run_key
             if ctx != context_id:
@@ -240,8 +358,261 @@ class StorageManager:
                 raise StateError("tail must start at a chunk boundary")
             chunk_index = flushed_tokens // self.tokens_per_chunk
             key = ChunkKey(ctx, layer, chunk_index, kind)
-            self.array.device_for(chunk_index, offset=layer).write(key, tail.data[: tail.n])
+            device = self.array.device_for(chunk_index, offset=layer)
+            stale = self._stale_partial.get(run_key)
+            if stale is not None and stale[0] == chunk_index:
+                # A previous seal's copy occupies the slot this grown tail
+                # rewrites; retire it only now, immediately before its
+                # replacement, to keep the durability gap minimal.
+                device.delete(key)
+                del self._stale_partial[run_key]
+            device.write(key, tail.data[: tail.n])
             self._sealed_partial.add(run_key)
+            if self.journal is not None:
+                sealed.append(
+                    {
+                        "layer": layer,
+                        "kind": kind,
+                        "index": chunk_index,
+                        "tokens": tail.n,
+                        "crc": _payload_crc(tail.data[: tail.n]),
+                    }
+                )
+        if self.journal is not None:
+            if sealed:
+                self.journal.append(
+                    {"op": "seal", "context_id": context_id, "tails": sealed}
+                )
+            if self.journal.journal_bytes >= self.journal_compact_bytes:
+                self.compact_journal()
+
+    # ------------------------------------------------------------------
+    # durability: snapshot, compaction, recovery
+    # ------------------------------------------------------------------
+
+    def manifest_state(self) -> ManifestState:
+        """Snapshot the durable metadata as a replayable manifest.
+
+        Exactly what replaying the journal from genesis would yield:
+        journaled full chunks, sealed tails (including a *stale* sealed
+        partial whose run has grown but whose slot has not been rewritten
+        yet — its device copy is still the durable source of those rows),
+        and the token logs.  Unsealed host-tail rows are deliberately
+        absent: they are not durable.
+        """
+        state = ManifestState()
+        cpc = self.tokens_per_chunk
+        for context_id, meta in self._meta.items():
+            crec = ContextManifest(
+                n_layers=meta.n_layers,
+                hidden_width=meta.hidden_width,
+                dtype=str(meta.dtype),
+                tokens=list(self._token_logs.get(context_id, [])),
+            )
+            state.contexts[context_id] = crec
+            for layer in range(meta.n_layers):
+                for kind in ("hidden", "kv"):
+                    if not self.allocator.has_run(context_id, layer, kind):
+                        continue
+                    run_key = (context_id, layer, kind)
+                    run = self.allocator.run(context_id, layer, kind)
+                    tail = self._tails[run_key]
+                    full = (run.n_tokens - tail.n) // cpc
+                    rrec = RunManifest(full_chunks=full)
+                    for index in range(full):
+                        crc = self._chunk_crcs.get(ChunkKey(context_id, layer, index, kind))
+                        if crc is not None:
+                            rrec.chunk_crcs[index] = crc
+                    if run_key in self._sealed_partial:
+                        rrec.sealed_tail_index = full
+                        rrec.sealed_tail_tokens = tail.n
+                        rrec.sealed_tail_crc = _payload_crc(tail.data[: tail.n])
+                    elif run_key in self._stale_partial:
+                        index, sealed_rows = self._stale_partial[run_key]
+                        rrec.sealed_tail_index = index
+                        rrec.sealed_tail_tokens = sealed_rows
+                        rrec.sealed_tail_crc = _payload_crc(tail.data[:sealed_rows])
+                    crec.runs[(layer, kind)] = rrec
+        return state
+
+    def compact_journal(self) -> None:
+        """Write a compacted snapshot and reset the journal log."""
+        if self.journal is None:
+            raise StateError("storage manager has no journal attached")
+        self.journal.compact(self.manifest_state())
+
+    @classmethod
+    def recover(
+        cls,
+        array: StorageArray,
+        journal: ManifestJournal,
+        capacity_bytes: int | None = None,
+        tokens_per_chunk: int = CHUNK_TOKENS,
+        journal_compact_bytes: int = 1 << 20,
+        verify_chunks: bool = True,
+    ) -> "StorageManager":
+        """Rebuild a manager from journal + device chunks alone.
+
+        The crash-recovery (and migrate-to-another-engine) entry point:
+        nothing of the dead manager's memory survives.  The journal
+        replays into a :class:`ManifestState`; each context's durable
+        token count is the *minimum over its runs* of ``full_chunks x
+        tokens_per_chunk + sealed tail`` — a run's sealed tail counting
+        only if its device copy exists and matches the journaled CRC (a
+        retired-but-never-rewritten partial rolls that run back to its
+        chunk boundary).  Runs longer than the common durable count are
+        truncated: a boundary chunk's surviving prefix is salvaged into
+        the host tail buffer, excess device chunks are dropped, and the
+        token log is cut to exactly the durable rows.  Journal/device
+        contradictions (a journaled chunk missing, a CRC mismatch, a
+        token log shorter than the durable rows) raise
+        :class:`~repro.errors.RecoveryError` — recovery is conservative
+        or loud, never silently wrong.  Unjournaled device chunks
+        (orphans of a crash between write and journal append) are swept.
+
+        ``verify_chunks`` re-reads every full chunk to check its CRC;
+        disable it to trade integrity checking for recovery speed.  The
+        returned manager has ``journal`` attached and starts from a fresh
+        compacted snapshot describing exactly the recovered state.
+        """
+        state = journal.replay()
+        manager = cls(
+            array,
+            capacity_bytes,
+            tokens_per_chunk,
+            journal=None,
+            journal_compact_bytes=journal_compact_bytes,
+        )
+        cpc = tokens_per_chunk
+        live: set[ChunkKey] = set()
+        for context_id, crec in state.contexts.items():
+            try:
+                dtype = np.dtype(crec.dtype)
+            except TypeError as exc:
+                raise RecoveryError(
+                    f"context {context_id!r} has unknown dtype {crec.dtype!r}"
+                ) from exc
+            meta = ContextMeta(
+                context_id=context_id,
+                n_layers=crec.n_layers,
+                hidden_width=crec.hidden_width,
+                kv_width=2 * crec.hidden_width,
+                dtype=dtype,
+            )
+            manager._meta[context_id] = meta
+            if not crec.runs:
+                manager._token_logs[context_id] = list(crec.tokens)
+                continue
+            # Pass 1: per-run durable candidates, checking the devices.
+            candidates: dict[tuple[int, str], tuple[int, np.ndarray | None]] = {}
+            for (layer, kind), rrec in crec.runs.items():
+                if layer < 0 or layer >= crec.n_layers:
+                    raise RecoveryError(
+                        f"context {context_id!r} journals layer {layer} beyond "
+                        f"its {crec.n_layers} layers"
+                    )
+                for index in range(rrec.full_chunks):
+                    key = ChunkKey(context_id, layer, index, kind)
+                    device = array.device_for(index, offset=layer)
+                    if key not in device:
+                        raise RecoveryError(
+                            f"journaled chunk {key} is missing from its device"
+                        )
+                    if verify_chunks and index in rrec.chunk_crcs:
+                        payload, _ = device.read(key)
+                        if _payload_crc(payload) != rrec.chunk_crcs[index]:
+                            raise RecoveryError(
+                                f"chunk {key} payload fails its journaled checksum"
+                            )
+                durable = rrec.full_chunks * cpc
+                tail_rows: np.ndarray | None = None
+                if rrec.sealed_tail_tokens > 0:
+                    if rrec.sealed_tail_index != rrec.full_chunks:
+                        raise RecoveryError(
+                            f"run ({context_id!r}, L{layer}, {kind}): sealed tail "
+                            f"at chunk {rrec.sealed_tail_index} but "
+                            f"{rrec.full_chunks} full chunks are journaled"
+                        )
+                    key = ChunkKey(context_id, layer, rrec.full_chunks, kind)
+                    device = array.device_for(rrec.full_chunks, offset=layer)
+                    if key in device:
+                        payload, _ = device.read(key)
+                        if (
+                            payload.shape[0] != rrec.sealed_tail_tokens
+                            or _payload_crc(payload) != rrec.sealed_tail_crc
+                        ):
+                            raise RecoveryError(
+                                f"sealed tail {key} mismatches its journal record"
+                            )
+                        durable += rrec.sealed_tail_tokens
+                        tail_rows = payload
+                    # else: the partial was retired for a rewrite that never
+                    # completed — those rows are gone; the run rolls back to
+                    # its chunk boundary (the documented rewrite window).
+                candidates[(layer, kind)] = (durable, tail_rows)
+            durable_tokens = min(d for d, _ in candidates.values())
+            if len(crec.tokens) < durable_tokens:
+                raise RecoveryError(
+                    f"context {context_id!r}: token log holds {len(crec.tokens)} "
+                    f"ids but {durable_tokens} rows are durable"
+                )
+            manager._token_logs[context_id] = list(crec.tokens[:durable_tokens])
+            # Pass 2: rebuild every run, truncated to the common count.
+            for (layer, kind), (_, tail_rows) in candidates.items():
+                rrec = crec.runs[(layer, kind)]
+                run_key = (context_id, layer, kind)
+                manager.allocator.open_run(
+                    context_id, layer, kind, manager._layout(meta, kind)
+                )
+                manager.allocator.extend(context_id, layer, kind, durable_tokens)
+                tailbuf = _TailBuffer(cpc, manager._width(meta, kind), meta.dtype)
+                manager._tails[run_key] = tailbuf
+                full_keep = durable_tokens // cpc
+                rem = durable_tokens - full_keep * cpc
+                boundary_key = ChunkKey(context_id, layer, full_keep, kind)
+                if rem:
+                    device = array.device_for(full_keep, offset=layer)
+                    if tail_rows is not None and rrec.full_chunks == full_keep:
+                        # This run's own sealed tail supplies the rows.
+                        tailbuf.data[:rem] = tail_rows[:rem]
+                        tailbuf.n = rem
+                        if rem == rrec.sealed_tail_tokens:
+                            manager._sealed_partial.add(run_key)
+                            live.add(boundary_key)
+                        else:
+                            # A shorter run truncated the context below this
+                            # sealed tail; its device copy holds too many
+                            # rows — drop it, the next seal rewrites.
+                            device.delete(boundary_key)
+                    elif full_keep < rrec.full_chunks:
+                        # The durable cut lands inside one of this run's
+                        # full chunks: salvage the prefix into the host
+                        # tail; the over-long chunk cannot stay (reads and
+                        # reseals assume exact shapes).
+                        payload, _ = device.read(boundary_key)
+                        tailbuf.data[:rem] = payload[:rem]
+                        tailbuf.n = rem
+                        device.delete(boundary_key)
+                    else:
+                        raise RecoveryError(
+                            f"run ({context_id!r}, L{layer}, {kind}): {rem} durable "
+                            f"rows have no durable source"
+                        )
+                for index in range(full_keep):
+                    key = ChunkKey(context_id, layer, index, kind)
+                    live.add(key)
+                    if index in rrec.chunk_crcs:
+                        manager._chunk_crcs[key] = rrec.chunk_crcs[index]
+        # Orphan sweep: device chunks no journaled run accounts for — the
+        # crash artifacts of write-then-journal — plus everything truncated
+        # above.  ``delete`` on a replicated device drops both copies.
+        for device in array.devices:
+            for key in device.keys():
+                if isinstance(key, ChunkKey) and key not in live:
+                    device.delete(key)
+        manager.journal = journal
+        manager.compact_journal()
+        return manager
 
     # ------------------------------------------------------------------
     # restoration (token-before-layer)

@@ -1,0 +1,226 @@
+"""Kill-and-resume: the tentpole crash-recovery test.
+
+A numeric engine serves multi-round conversations; mid-conversation the
+whole in-memory stack is dropped (engine, HCache engine, storage manager,
+tail buffers — everything a process crash destroys).  Recovery rebuilds
+the stack from the journal directory and the device chunks alone, every
+session restores through the completely ordinary ``HCacheEngine.restore``
+path, and decoding continues:
+
+- the recovered saved-prefix KV state is **bit-exact** against the
+  pre-kill state (sealed sessions entirely; unsealed sessions up to the
+  durable chunk boundary);
+- a recovered session's continued greedy token stream is identical to a
+  control stack that never crashed.
+
+Token streams are compared for equality outright: the restore path is
+bit-exact, and the serial decode path is deterministic.  (The batched
+continuation at the end exercises ``chat_rounds`` post-recovery, whose
+values sit within the pinned ``BATCHED_DECODE_ATOL`` of the serial path
+as documented on the numeric engine.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hcache import HCacheEngine
+from repro.engine.numeric_engine import NumericServingEngine
+from repro.models.config import model_preset
+from repro.models.transformer import Transformer
+from repro.simulator.hardware import GB, SSDSpec
+from repro.storage import ManifestJournal, StorageArray, StorageManager
+
+CPC = 64
+
+SPEC = SSDSpec("t-ssd", read_bandwidth=3 * GB, write_bandwidth=1 * GB,
+               capacity_bytes=1 * GB)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Transformer.from_seed(model_preset("tiny-llama"), seed=11)
+
+
+@pytest.fixture
+def journal_factory(tmp_path):
+    """Opens (and re-opens) journal directories, closing every handle at
+    teardown — the tests deliberately abandon journals mid-"crash"."""
+    journals = []
+
+    def make(name="j"):
+        journal = ManifestJournal(tmp_path / name)
+        journals.append(journal)
+        return journal
+
+    yield make
+    for journal in journals:
+        journal.close()
+
+
+def build_stack(model, journal=None):
+    array = StorageArray([SPEC, SPEC], link_bandwidth=8 * GB)
+    manager = StorageManager(array, journal=journal)
+    engine = NumericServingEngine(model, HCacheEngine(model, manager))
+    return array, engine
+
+
+def prompts(model, seed):
+    rng = np.random.default_rng(seed)
+    return lambda n: rng.integers(0, model.config.vocab_size, size=n)
+
+
+def snapshot_prefix(cache, n_layers, n_tokens):
+    """Copy the first ``n_tokens`` KV rows of every layer out of a cache."""
+    return {
+        layer: tuple(np.array(t[:n_tokens]) for t in cache.get(layer))
+        for layer in range(n_layers)
+    }
+
+
+def assert_cache_prefix(cache, reference, n_layers):
+    for layer in range(n_layers):
+        k_ref, v_ref = reference[layer]
+        k, v = cache.get(layer)
+        assert np.array_equal(k[: len(k_ref)], k_ref)
+        assert np.array_equal(v[: len(v_ref)], v_ref)
+
+
+def recover_stack(model, array, journal):
+    manager = StorageManager.recover(array, journal)
+    hcache = HCacheEngine.recover(model, manager)
+    return NumericServingEngine.recover(model, hcache)
+
+
+class TestKillAndResume:
+    def test_hard_kill_mid_conversation(self, model, journal_factory):
+        n_layers = model.config.n_layers
+        array, victim = build_stack(model, journal_factory("victim"))
+        _, control = build_stack(model)
+        make = prompts(model, seed=42)
+        p1, p2, p3, p4 = make(40), make(30), make(54), make(25)
+
+        # Round 1 on both stacks, identically; evict both sessions (seal).
+        for engine in (victim, control):
+            engine.open_session("s1")
+            engine.open_session("s2")
+            engine.chat_round("s1", p1, 8)       # 48 tokens, sealed below
+            engine.chat_round("s2", p2, 18)      # 48 tokens, sealed below
+            engine.evict("s1")
+            engine.evict("s2")
+
+        # Round 2 on the victim's s1 only — and no eviction: the round's
+        # trailing rows live in unsealed host tail buffers when we kill.
+        victim.chat_round("s1", p3, 16)          # 118 tokens, 64 durable
+        s1_history = list(victim.session("s1").tokens)
+        assert len(s1_history) == 118
+
+        # Pre-kill references for the durable prefixes.
+        live_s1 = victim.session("s1").kv_cache
+        ref_s1 = snapshot_prefix(live_s1, n_layers, CPC)
+        ref_s2 = snapshot_prefix(victim.hcache.restore("s2"), n_layers, 48)
+
+        # KILL: drop every in-memory structure.  The devices (the durable
+        # chunk store) and the journal directory are all that survive.
+        victim.hcache.storage.journal.close()
+        del victim, live_s1
+
+        resumed = recover_stack(model, array, journal_factory("victim"))
+
+        # Durable token counts: s2 fully sealed, s1 cut at its chunk
+        # boundary (the unsealed 54-row tail died with the process).
+        assert resumed.hcache.saved_tokens("s2") == 48
+        assert resumed.hcache.saved_tokens("s1") == CPC
+        assert resumed.session("s1").tokens == s1_history[:CPC]
+        assert resumed.session("s2").tokens == list(control.session("s2").tokens)
+
+        # Saved-prefix state restores bit-exact through the normal path.
+        assert_cache_prefix(resumed.hcache.restore("s1"), ref_s1, n_layers)
+        assert_cache_prefix(resumed.hcache.restore("s2"), ref_s2, n_layers)
+
+        # The recovered s2 continues exactly like the never-crashed control.
+        resumed_stream = resumed.chat_round("s2", p4, 12)
+        control_stream = control.chat_round("s2", p4, 12)
+        assert resumed_stream == control_stream
+
+        # s1 continues from its truncated durable history.
+        generated = resumed.chat_round("s1", make(10), 6)
+        assert len(generated) == 6
+        assert resumed.hcache.saved_tokens("s1") == CPC + 10 + 6
+        assert resumed.session("s1").tokens == s1_history[:CPC] + list(
+            resumed.session("s1").tokens[CPC:]
+        )
+
+    def test_clean_kill_preserves_everything(self, model, journal_factory):
+        """All sessions sealed before the crash: recovery is lossless and
+        both sessions' continued streams match the control exactly."""
+        n_layers = model.config.n_layers
+        array, victim = build_stack(model, journal_factory("clean"))
+        _, control = build_stack(model)
+        make = prompts(model, seed=7)
+        p1, p2, p3 = make(70), make(33), make(20)
+
+        for engine in (victim, control):
+            engine.open_session("s1")
+            engine.open_session("s2")
+            engine.chat_round("s1", p1, 10)
+            engine.chat_round("s2", p2, 5)
+            engine.evict("s1")
+            engine.evict("s2")
+        ref = {
+            sid: snapshot_prefix(
+                victim.hcache.restore(sid), n_layers, victim.hcache.saved_tokens(sid)
+            )
+            for sid in ("s1", "s2")
+        }
+
+        victim.hcache.storage.journal.close()
+        del victim
+
+        resumed = recover_stack(model, array, journal_factory("clean"))
+        for sid, expect in (("s1", 80), ("s2", 38)):
+            assert resumed.hcache.saved_tokens(sid) == expect
+            assert resumed.session(sid).tokens == list(control.session(sid).tokens)
+            assert_cache_prefix(resumed.hcache.restore(sid), ref[sid], n_layers)
+
+        for sid in ("s1", "s2"):
+            assert resumed.chat_round(sid, p3, 9) == control.chat_round(sid, p3, 9)
+
+        # And the recovered engine's *batched* round still holds together
+        # (values within the documented BATCHED_DECODE_ATOL of serial).
+        resumed.evict("s1")
+        resumed.evict("s2")
+        streams = resumed.chat_rounds([("s1", make(12)), ("s2", make(12))], 4)
+        assert set(streams) == {"s1", "s2"}
+        for sid in ("s1", "s2"):
+            assert len(streams[sid]) == 4
+            state = resumed.session(sid)
+            assert len(state.kv_cache) == len(state.tokens)
+            assert resumed.hcache.saved_tokens(sid) == len(state.tokens)
+
+    def test_second_crash_after_resume(self, model, journal_factory):
+        """Crash, resume, serve, crash again: the re-attached journal keeps
+        journaling, so recovery composes."""
+        array, victim = build_stack(model, journal_factory("twice"))
+        make = prompts(model, seed=3)
+        victim.open_session("s1")
+        first_round = victim.chat_round("s1", make(50), 6)
+        victim.evict("s1")
+        victim.hcache.storage.journal.close()
+        del victim
+
+        middle = recover_stack(model, array, journal_factory("twice"))
+        assert middle.hcache.saved_tokens("s1") == 56
+        middle.chat_round("s1", make(30), 8)
+        middle.evict("s1")
+        history = list(middle.session("s1").tokens)
+        middle.hcache.storage.journal.close()
+        del middle
+
+        final = recover_stack(model, array, journal_factory("twice"))
+        assert final.hcache.saved_tokens("s1") == 94
+        assert final.session("s1").tokens == history
+        assert len(first_round) == 6
+        generated = final.chat_round("s1", make(5), 3)
+        assert len(generated) == 3
