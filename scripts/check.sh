@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# Local + CI gate: bytecode-compile, lint, tier-1 tests, doc freshness,
-# hot-path benchmark smoke.
+# Local + CI gate: bytecode-compile, lint (ruff + repro.lint), types,
+# tier-1 tests, doc freshness, hot-path benchmark smoke.
 #
 # Run this before sending a PR; .github/workflows/ci.yml runs exactly
 # this script on every push/PR.  The compileall pass catches
-# syntax-level breakage in modules no test imports.  The lint step runs
-# ruff with the repo config in pyproject.toml (skipped with a notice if
-# ruff isn't installed locally — CI always has it via
-# requirements-dev.txt).  The doc check keeps README.md's module map
-# pointing at packages that actually exist (and vice versa).  The smoke
-# benchmark executes the same code paths as the committed
-# BENCH_hotpath.json (decode-with-capture state path, end-to-end
-# decode, batched multi-session decode, chunk-streamed restore,
-# threaded restore under latency emulation) at a reduced window but
-# still including the 4096-token gate size, so it *asserts*:
+# syntax-level breakage in modules no test imports.  Three analysis
+# gates follow:
+#   - ruff with the repo config in pyproject.toml (style/pyflakes);
+#   - `python -m repro.lint src` — the project-specific invariant
+#     checker (lock discipline, §6.2 commit-point ordering, hot-path
+#     allocation bans, exception safety, __all__ drift); zero findings
+#     required, deliberate exceptions carry in-source waivers;
+#   - mypy, non-strict, over repro.storage + repro.runtime.
+# ruff and mypy are optional *locally* (skipped with a notice via
+# require_or_skip below) but REQUIRED in CI: a missing tool there is a
+# broken pipeline, not a soft skip.  repro.lint ships with the repo and
+# always runs.  The doc check keeps README.md's module map pointing at
+# packages that actually exist (and vice versa).  The smoke benchmark
+# executes the same code paths as the committed BENCH_hotpath.json
+# (decode-with-capture state path, end-to-end decode, batched
+# multi-session decode, chunk-streamed restore, threaded restore under
+# latency emulation) at a reduced window but still including the
+# 4096-token gate size, so it *asserts*:
 #   - the PR-1 speedup floor (decode-with-capture state path >= 10x
 #     naive at 4k tokens),
 #   - that every restore flavor — including the PR-3 threaded executor —
@@ -39,17 +47,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# require_or_skip <module> <command...> — run <command...> if the python
+# module <module> is importable.  Missing tool: hard failure in CI
+# (GitHub Actions sets CI=true), soft skip with a notice locally.  All
+# optional-tool gating goes through this one helper so local and CI
+# behaviour can never drift per-tool.
+require_or_skip() {
+    local module="$1"
+    shift
+    if python -c "import ${module}" >/dev/null 2>&1; then
+        "$@"
+    elif [ "${CI:-}" = "true" ]; then
+        echo "error: '${module}' is required in CI but is not installed" \
+             "(pip install -r requirements-dev.txt)" >&2
+        exit 1
+    else
+        echo "${module} not installed; skipping locally (CI enforces it" \
+             "— pip install -r requirements-dev.txt)"
+    fi
+}
+
 echo "== bytecode compile =="
 python -m compileall -q src benchmarks scripts
 
 echo "== lint (ruff) =="
-if command -v ruff >/dev/null 2>&1; then
-    ruff check src tests benchmarks scripts
-elif python -m ruff --version >/dev/null 2>&1; then
-    python -m ruff check src tests benchmarks scripts
-else
-    echo "ruff not installed; skipping lint (CI runs it — pip install -r requirements-dev.txt)"
-fi
+require_or_skip ruff python -m ruff check src tests benchmarks scripts
+
+echo "== invariant lint (repro.lint: guarded-by, commit-point, hot-path, exception-safety, api-surface) =="
+python -m repro.lint src
+
+echo "== types (mypy, non-strict, repro.storage + repro.runtime) =="
+require_or_skip mypy python -m mypy
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -25,6 +25,7 @@ __all__ = [
     "NaiveHybridMethod",
     "RecomputationMethod",
     "RestorationMethod",
+    "default_methods",
 ]
 
 

@@ -127,8 +127,8 @@ class BubbleFreeScheduler:
         """
         l_h = self.closed_form_l_h(profile)
         candidates = {
-            max(0, min(self.n_layers, l))
-            for l in (l_h - 1, l_h, l_h + 1, 0, self.n_layers)
+            max(0, min(self.n_layers, layers))
+            for layers in (l_h - 1, l_h, l_h + 1, 0, self.n_layers)
         }
         schemes = [self._scheme_for(profile, candidate) for candidate in sorted(candidates)]
         if profile.compute_bound:

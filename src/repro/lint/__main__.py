@@ -1,0 +1,78 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage error (bad
+path, unknown rule).  The CI gate runs ``python -m repro.lint src`` and
+requires 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.framework import check_paths
+from repro.lint.rules import default_rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the HCache repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule id (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    if args.rule:
+        known = {rule.name: rule for rule in rules}
+        unknown = [name for name in args.rule if name not in known]
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [known[name] for name in args.rule]
+
+    try:
+        findings = check_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        print(
+            f"\n{count} finding{'s' if count != 1 else ''} — each is either a "
+            f"real invariant violation (fix it) or a deliberate exception "
+            f"(waive it in place: `# lint: disable=<rule> -- <reason>`)."
+        )
+        return 1
+    print(f"repro.lint: clean ({', '.join(rule.name for rule in rules)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""The finding record every lint rule reports.
+
+A finding pins one invariant violation to a source location, names the
+rule that owns the invariant, and carries a fix hint so the diagnostic
+reads as "here is the contract you broke and what restoring it looks
+like" — not just "line 42 is bad".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Repo-relative (or as-given) path of the offending file.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: Rule id (``guarded-by``, ``commit-point``, ...).
+        message: What contract was violated, concretely.
+        hint: How to fix it — or how to waive it when the violation is
+            deliberate (``# lint: disable=<rule> -- <reason>``).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` plus an indented hint line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

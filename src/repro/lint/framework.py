@@ -1,0 +1,243 @@
+"""Checker framework: module model, waivers, rule base, and the runner.
+
+The analyzer parses each file once into a :class:`ModuleInfo` (AST +
+comment map + waiver table) and hands it to every registered rule.  Rules
+are pure functions of that structure — no imports of the checked code, so
+the linter can analyze broken or heavyweight modules safely.
+
+Waivers
+-------
+A deliberate exception to a rule is written on (or directly above) the
+offending line as::
+
+    # lint: disable=<rule>[,<rule>...] -- <reason>
+
+The reason is **mandatory**: a waiver without one is itself reported
+(rule id ``bad-waiver``, not waivable).  This keeps every exception to an
+enforced invariant self-documenting at the point of use — the same
+contract ``docs/ARCHITECTURE.md`` states in prose, in machine-checked
+form.
+
+Annotations
+-----------
+Two structured comments feed individual rules (see their modules):
+
+- ``# guarded-by: <lock>`` on a ``self.<attr> = ...`` line declares the
+  attribute lock-protected (:mod:`repro.lint.rules.guarded_by`).
+- ``# holds: <lock>`` on a ``def`` line asserts the method is only
+  called with ``<lock>`` already held by the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+#: ``# lint: disable=rule-a,rule-b -- reason`` (reason may follow ``--``,
+#: ``:`` or a second ``#``; it is required and checked by the runner).
+_WAIVER_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"\s*(?:(?:--|#|:)\s*(?P<reason>.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# lint: disable=...`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    #: True when the comment sits alone on its line, in which case the
+    #: waiver covers the *next* line as well (for statements too long to
+    #: carry a trailing comment).
+    standalone: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    #: Posix-style path used for suffix matching against rule manifests
+    #: (``repro/storage/manager.py`` matches any checkout root).
+    posix_path: str
+    source: str
+    tree: ast.Module
+    #: line -> comment text (including the ``#``), from tokenize.
+    comments: dict[int, str] = field(default_factory=dict)
+    #: Lines holding nothing but a comment.
+    comment_only_lines: frozenset[int] = frozenset()
+    waivers: list[Waiver] = field(default_factory=list)
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def waived_rules(self, line: int) -> frozenset[str]:
+        """Rules waived for findings reported at ``line``."""
+        waived: set[str] = set()
+        for waiver in self.waivers:
+            if waiver.line == line or (waiver.standalone and waiver.line + 1 == line):
+                waived |= waiver.rules
+        return frozenset(waived)
+
+
+class Rule:
+    """Base class for one invariant checker.
+
+    Subclasses set :attr:`name` (the rule id used in findings and
+    waivers) and implement :meth:`check`.  Rules must not import or
+    execute the code under analysis.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            hint=hint,
+        )
+
+
+def _parse_comments(source: str) -> tuple[dict[int, str], frozenset[int]]:
+    """Map line -> comment text, noting comment-only lines, via tokenize."""
+    comments: dict[int, str] = {}
+    comment_only: set[int] = set()
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            comments[line] = tok.string
+            before = lines[line - 1][: tok.start[1]] if line <= len(lines) else ""
+            if not before.strip():
+                comment_only.add(line)
+    except tokenize.TokenError:
+        pass  # the AST parse reports the real syntax problem
+    return comments, frozenset(comment_only)
+
+
+def _parse_waivers(
+    comments: dict[int, str], comment_only: frozenset[int]
+) -> list[Waiver]:
+    waivers = []
+    for line, text in comments.items():
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(r.strip() for r in match.group(1).split(","))
+        waivers.append(
+            Waiver(
+                line=line,
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+                standalone=line in comment_only,
+            )
+        )
+    return waivers
+
+
+def load_module(path: Path, display_path: str | None = None) -> ModuleInfo | Finding:
+    """Parse one file into a :class:`ModuleInfo`, or a parse-error finding."""
+    display = display_path if display_path is not None else str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(display, 1, 0, "parse-error", f"cannot read file: {exc}")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return Finding(
+            display, exc.lineno or 1, (exc.offset or 1) - 1, "parse-error", exc.msg or "syntax error"
+        )
+    comments, comment_only = _parse_comments(source)
+    return ModuleInfo(
+        path=display,
+        posix_path=path.as_posix(),
+        source=source,
+        tree=tree,
+        comments=comments,
+        comment_only_lines=comment_only,
+        waivers=_parse_waivers(comments, comment_only),
+    )
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into the sorted ``.py`` file list."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def check_module(module: ModuleInfo, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one module, applying waivers.
+
+    Waived findings are dropped; waivers missing the mandatory reason are
+    reported as ``bad-waiver`` findings (which no waiver can suppress).
+    """
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if rule.name in module.waived_rules(finding.line):
+                continue
+            findings.append(finding)
+    for waiver in module.waivers:
+        if not waiver.reason:
+            findings.append(
+                Finding(
+                    module.path,
+                    waiver.line,
+                    0,
+                    "bad-waiver",
+                    "waiver must carry a reason: "
+                    "`# lint: disable=<rule> -- <why this is safe>`",
+                    hint="an undocumented exception to an invariant is "
+                    "indistinguishable from a silenced bug",
+                )
+            )
+    return findings
+
+
+def check_paths(
+    paths: Sequence[str | Path], rules: Iterable[Rule]
+) -> list[Finding]:
+    """Run ``rules`` over every ``.py`` file reachable from ``paths``."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for path in collect_files(paths):
+        module = load_module(path)
+        if isinstance(module, Finding):
+            findings.append(module)
+            continue
+        findings.extend(check_module(module, rules))
+    return sorted(findings)

@@ -1,0 +1,132 @@
+"""Rule ``api-surface``: ``__all__`` and the public namespace agree.
+
+PR 4 shipped (and then fixed) the bug class this rule retires: a name
+re-exported by a package ``__init__`` but missing from its ``__all__``
+(``StorageArray``), which makes ``from repro.storage import *`` and
+documentation tooling silently disagree with the real surface.  For
+every module that declares ``__all__``:
+
+- every ``__all__`` entry must be bound at module top level (a def,
+  class, assignment, or import) — no phantom exports;
+- every *public* top-level binding (no leading underscore; plain
+  ``import x`` module bindings and ``__future__`` imports excluded)
+  must appear in ``__all__`` — no accidental exports;
+- entries must be unique.
+
+Modules without ``__all__`` are not checked: the contract is opt-in per
+module, and in this repo every package ``__init__`` opts in.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ModuleInfo, Rule
+
+
+def _all_assignment(tree: ast.Module) -> ast.Assign | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound by direct module-body statements (no conditionals)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module == "__future__":
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.Import):
+            # `import x.y` binds the module `x`; module bindings are not
+            # part of the re-export surface this rule polices.
+            continue
+    return names
+
+
+class ApiSurfaceRule(Rule):
+    name = "api-surface"
+    description = (
+        "__all__ must list exactly the module's public top-level bindings"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        assignment = _all_assignment(module.tree)
+        if assignment is None:
+            return []
+        findings: list[Finding] = []
+        if not isinstance(assignment.value, (ast.List, ast.Tuple)):
+            return [
+                self.finding(
+                    module,
+                    assignment,
+                    "__all__ must be a literal list/tuple of names so the "
+                    "surface is statically checkable",
+                )
+            ]
+        exported: list[str] = []
+        for element in assignment.value.elts:
+            if not (
+                isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ):
+                findings.append(
+                    self.finding(
+                        module, element, "__all__ entries must be string literals"
+                    )
+                )
+                continue
+            exported.append(element.value)
+        bound = _top_level_bindings(module.tree)
+        seen: set[str] = set()
+        for name in exported:
+            if name in seen:
+                findings.append(
+                    self.finding(
+                        module, assignment, f"__all__ lists {name!r} twice"
+                    )
+                )
+            seen.add(name)
+            if name not in bound:
+                findings.append(
+                    self.finding(
+                        module,
+                        assignment,
+                        f"__all__ exports {name!r} but the module never binds "
+                        f"it at top level",
+                        hint="remove the entry or add the missing "
+                        "definition/import",
+                    )
+                )
+        public = {
+            name
+            for name in bound
+            if not name.startswith("_") and name != "annotations"
+        }
+        for name in sorted(public - seen):
+            findings.append(
+                self.finding(
+                    module,
+                    assignment,
+                    f"public name {name!r} is bound at top level but missing "
+                    f"from __all__ (the PR-4 StorageArray bug class)",
+                    hint="add it to __all__, or rename it with a leading "
+                    "underscore if it is internal",
+                )
+            )
+        return findings

@@ -1,0 +1,213 @@
+"""Rule ``guarded-by``: lock-annotated attributes need their lock held.
+
+The threaded surfaces grown in PRs 3 and 6 (device stat counters, fault
+ordinals, replication degraded-read counts, IO pool accounting) protect
+their mutable state with per-object locks — an invariant stated in
+docstrings and exercised only under rare interleavings, i.e. exactly the
+kind of contract a refactor silently breaks.  This rule makes it
+mechanical:
+
+- A ``self.<attr> = ...`` line in a class carrying the comment
+  ``# guarded-by: <lock>`` declares the attribute lock-protected.
+- Outside ``__init__``, every read or write of that attribute must sit
+  lexically inside a ``with self.<lock>:`` block.
+- A method whose ``def`` line carries ``# holds: <lock>`` asserts the
+  caller already holds the lock (the ``_locked``-helper pattern); the
+  rule treats the lock as held for the whole body.
+- Code inside nested ``def``/``lambda`` does not inherit an enclosing
+  ``with`` — closures outlive the locked region (e.g. when submitted to
+  a worker pool), so they must take the lock themselves or be waived.
+
+Deliberate unguarded access (e.g. a monotonic flag read) takes a
+``# lint: disable=guarded-by -- <reason>`` waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ModuleInfo, Rule
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS_RE = re.compile(r"#\s*holds:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The ``X`` of a ``self.X`` attribute expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _assigned_self_attrs(stmt: ast.stmt) -> list[str]:
+    """``self.X`` targets of an assignment statement."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names = []
+    for target in targets:
+        attr = _self_attr(target)
+        if attr is not None:
+            names.append(attr)
+    return names
+
+
+class GuardedByRule(Rule):
+    name = "guarded-by"
+    description = (
+        "attributes annotated `# guarded-by: <lock>` may only be touched "
+        "inside `with self.<lock>:` (or in __init__)"
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    # -- per-class analysis --------------------------------------------
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> list[Finding]:
+        guarded, assigned_attrs = self._collect_annotations(module, cls)
+        findings: list[Finding] = []
+        if not guarded:
+            return findings
+        for attr, (lock, decl_line) in guarded.items():
+            if lock not in assigned_attrs:
+                findings.append(
+                    Finding(
+                        module.path,
+                        decl_line,
+                        0,
+                        self.name,
+                        f"{cls.name}.{attr} is guarded by {lock!r}, but the class "
+                        f"never assigns self.{lock}",
+                        hint="create the lock in __init__ or fix the annotation",
+                    )
+                )
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_method(module, cls, stmt, guarded))
+        return findings
+
+    def _collect_annotations(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> tuple[dict[str, tuple[str, int]], set[str]]:
+        """Map guarded attr -> (lock name, annotation line); all self attrs."""
+        guarded: dict[str, tuple[str, int]] = {}
+        assigned: set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    continue
+                attrs = _assigned_self_attrs(stmt)
+                assigned.update(attrs)
+                match = _GUARDED_RE.search(module.comment_on(stmt.lineno))
+                if match is None:
+                    continue
+                for attr in attrs:
+                    guarded[attr] = (match.group(1), stmt.lineno)
+        return guarded, assigned
+
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        guarded: dict[str, tuple[str, int]],
+    ) -> list[Finding]:
+        if method.name == "__init__":
+            return []
+        held: set[str] = set()
+        holds = _HOLDS_RE.search(module.comment_on(method.lineno))
+        if holds is not None:
+            held.add(holds.group(1))
+        findings: list[Finding] = []
+        self._visit(module, cls, method.body, held, guarded, findings)
+        return findings
+
+    def _visit(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        body: list[ast.stmt],
+        held: set[str],
+        guarded: dict[str, tuple[str, int]],
+        findings: list[Finding],
+    ) -> None:
+        for stmt in body:
+            self._visit_node(module, cls, stmt, held, guarded, findings)
+
+    def _visit_node(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        node: ast.AST,
+        held: set[str],
+        guarded: dict[str, tuple[str, int]],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, ast.With):
+            acquired: set[str] = set()
+            for item in node.items:
+                # The `self.<lock>` expression itself is lock management,
+                # not guarded-state access; check only non-lock items.
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+                else:
+                    self._visit_node(
+                        module, cls, item.context_expr, held, guarded, findings
+                    )
+                if item.optional_vars is not None:
+                    self._visit_node(
+                        module, cls, item.optional_vars, held, guarded, findings
+                    )
+            inner = held | acquired
+            self._visit(module, cls, node.body, inner, guarded, findings)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure may run after the enclosing `with` exits (worker
+            # pools, callbacks): locks held at the def site don't count.
+            inner_held: set[str] = set()
+            holds = _HOLDS_RE.search(
+                module.comment_on(getattr(node, "lineno", 0))
+            )
+            if holds is not None:
+                inner_held.add(holds.group(1))
+            body = node.body if isinstance(body := node.body, list) else [body]
+            for child in body:
+                self._visit_node(module, cls, child, inner_held, guarded, findings)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and attr in guarded:
+                lock, _ = guarded[attr]
+                if lock not in held:
+                    action = (
+                        "written" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                    )
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{cls.name}.{attr} is {action} without holding "
+                            f"self.{lock} (declared `# guarded-by: {lock}`)",
+                            hint=f"wrap the access in `with self.{lock}:`, or mark "
+                            f"the method `# holds: {lock}` if every caller "
+                            f"already owns the lock",
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._visit_node(module, cls, child, held, guarded, findings)

@@ -585,6 +585,7 @@ class Transformer:
             raise ConfigError(
                 f"context {int(lengths.max()) + 1} exceeds max {config.max_context}"
             )
+        # lint: disable=hot-path -- one (B,)-int vector per decode step, not O(tokens); mutated below while lengths stays pristine
         positions = lengths.copy()
         hidden = self.embed(tokens)  # (B, hidden)
         block = StackedKVCacheBlock.of(caches)

@@ -182,6 +182,7 @@ class RestoreExecutor:
                 )
                 if timed:
                     compute_times.append(perf_counter() - t0)
+        # lint: disable=exception-safety -- sanctioned drain containment: settles in-flight reads, then re-raises
         except BaseException:
             # Containment: a failed read (e.g. every replica of a device
             # faulted) or a failed consume must not leave in-flight workers
@@ -192,6 +193,7 @@ class RestoreExecutor:
                 future.cancel()
                 try:
                     future.result()
+                # lint: disable=exception-safety -- settling a cancelled future; the original fault re-raises below
                 except BaseException:
                     pass
             raise

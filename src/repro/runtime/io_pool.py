@@ -42,7 +42,7 @@ class IOWorkerPool:
             max_workers=size, thread_name_prefix="hcache-io"
         )
         self._lock = threading.Lock()
-        self._submitted = 0
+        self._submitted = 0  # guarded-by: _lock
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -60,7 +60,8 @@ class IOWorkerPool:
     @property
     def tasks_submitted(self) -> int:
         """Total read tasks ever submitted (contention telemetry)."""
-        return self._submitted
+        with self._lock:
+            return self._submitted
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting tasks; optionally wait for in-flight ones."""

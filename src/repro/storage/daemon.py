@@ -12,6 +12,7 @@ hidden-state production is far below PCIe and SSD write bandwidth.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, SimulationError
@@ -67,26 +68,30 @@ class FlushDaemon:
         self.staging_bytes = int(staging_bytes)
         self.n_threads = n_threads
         self.fsync_interval = float(fsync_interval)
-        self._backlog = 0.0
-        self._last_time = 0.0
-        self._total_flushed = 0.0
-        self._total_stall = 0.0
-        self._total_accepted = 0.0
-        self._durable_bytes = 0.0
-        self._last_fsync = 0.0
-        self._oldest_unsynced_at: float | None = None
+        self._lock = threading.Lock()
+        self._backlog = 0.0  # guarded-by: _lock
+        self._last_time = 0.0  # guarded-by: _lock
+        self._total_flushed = 0.0  # guarded-by: _lock
+        self._total_stall = 0.0  # guarded-by: _lock
+        self._total_accepted = 0.0  # guarded-by: _lock
+        self._durable_bytes = 0.0  # guarded-by: _lock
+        self._last_fsync = 0.0  # guarded-by: _lock
+        self._oldest_unsynced_at: float | None = None  # guarded-by: _lock
 
     @property
     def backlog_bytes(self) -> int:
-        return int(self._backlog)
+        with self._lock:
+            return int(self._backlog)
 
     @property
     def total_flushed_bytes(self) -> int:
-        return int(self._total_flushed)
+        with self._lock:
+            return int(self._total_flushed)
 
     @property
     def total_stall_seconds(self) -> float:
-        return self._total_stall
+        with self._lock:
+            return self._total_stall
 
     @property
     def unsynced_bytes(self) -> int:
@@ -95,12 +100,14 @@ class FlushDaemon:
         The crash-loss bound in bytes: the staging backlog plus whatever
         was flushed since the last barrier.
         """
-        return int(self._total_accepted - self._durable_bytes)
+        with self._lock:
+            return int(self._total_accepted - self._durable_bytes)
 
     @property
     def last_fsync_time(self) -> float:
         """Simulation time of the most recent fsync barrier."""
-        return self._last_fsync
+        with self._lock:
+            return self._last_fsync
 
     def unsynced_backlog_age(self, now: float) -> float:
         """Seconds the *oldest* unsynced byte has been waiting at ``now``.
@@ -110,16 +117,12 @@ class FlushDaemon:
         growing age means barriers (or flushes) are falling behind and
         the crash-loss window is widening.
         """
-        if self._oldest_unsynced_at is None:
-            return 0.0
-        return max(0.0, now - self._oldest_unsynced_at)
+        with self._lock:
+            if self._oldest_unsynced_at is None:
+                return 0.0
+            return max(0.0, now - self._oldest_unsynced_at)
 
-    def advance(self, now: float) -> None:
-        """Drain the backlog up to simulation time ``now``.
-
-        Also issues the periodic fsync barrier when one has come due:
-        everything flushed by then becomes durable.
-        """
+    def _advance_locked(self, now: float) -> None:  # holds: _lock
         if now < self._last_time - 1e-12:
             raise SimulationError("daemon time moved backwards")
         elapsed = max(0.0, now - self._last_time)
@@ -130,34 +133,50 @@ class FlushDaemon:
         if self._last_time - self._last_fsync >= self.fsync_interval:
             self._durable_bytes = self._total_flushed
             self._last_fsync = self._last_time
-            if self.unsynced_bytes == 0:
+            if int(self._total_accepted - self._durable_bytes) == 0:
                 self._oldest_unsynced_at = None
             else:
                 # The backlog bytes still pending arrived no earlier than
                 # the previous event; age restarts from this barrier.
                 self._oldest_unsynced_at = self._last_time
 
+    def advance(self, now: float) -> None:
+        """Drain the backlog up to simulation time ``now``.
+
+        Also issues the periodic fsync barrier when one has come due:
+        everything flushed by then becomes durable.
+        """
+        with self._lock:
+            self._advance_locked(now)
+
     def snapshot(self, nbytes: int, now: float) -> SnapshotOutcome:
         """Accept ``nbytes`` of snapshotted states at time ``now``.
 
         If the staging buffer cannot absorb the snapshot, the GPU stalls for
-        exactly the time the daemon needs to free enough space.
+        exactly the time the daemon needs to free enough space.  The whole
+        accept — drain, stall computation, enqueue — happens under one lock
+        acquisition, so concurrent snapshots serialize instead of both
+        claiming the same free staging space.
         """
         if nbytes < 0:
             raise ConfigError("snapshot size must be non-negative")
-        self.advance(now)
-        overflow = self._backlog + nbytes - self.staging_bytes
-        stall = 0.0
-        if overflow > 0:
-            stall = overflow / self.write_bandwidth
-            self.advance(now + stall)
-        self._backlog += nbytes
-        self._total_stall += stall
-        self._total_accepted += nbytes
-        if nbytes > 0 and self._oldest_unsynced_at is None:
-            self._oldest_unsynced_at = now
-        return SnapshotOutcome(stall_seconds=stall, backlog_bytes=int(self._backlog))
+        with self._lock:
+            self._advance_locked(now)
+            overflow = self._backlog + nbytes - self.staging_bytes
+            stall = 0.0
+            if overflow > 0:
+                stall = overflow / self.write_bandwidth
+                self._advance_locked(now + stall)
+            self._backlog += nbytes
+            self._total_stall += stall
+            self._total_accepted += nbytes
+            if nbytes > 0 and self._oldest_unsynced_at is None:
+                self._oldest_unsynced_at = now
+            return SnapshotOutcome(
+                stall_seconds=stall, backlog_bytes=int(self._backlog)
+            )
 
     def drain_time(self) -> float:
         """Seconds needed to flush the current backlog completely."""
-        return self._backlog / self.write_bandwidth
+        with self._lock:
+            return self._backlog / self.write_bandwidth

@@ -86,8 +86,8 @@ class LatencyEmulator:
         self._sleep = sleep_fn
         self._lock = threading.Lock()
         self._sleep_lock = threading.Lock()
-        self._debt_s = 0.0
-        self._slept_s = 0.0
+        self._debt_s = 0.0  # guarded-by: _lock
+        self._slept_s = 0.0  # guarded-by: _lock
 
     @property
     def pending_s(self) -> float:
@@ -158,9 +158,9 @@ class StorageDevice:
         self.fault_policy: FaultPolicy | None = None
         self._data: dict[Hashable, np.ndarray] = {}
         self._used_bytes = 0
-        self._busy_seconds = 0.0
-        self._reads = 0
-        self._writes = 0
+        self._busy_seconds = 0.0  # guarded-by: _stats_lock
+        self._reads = 0  # guarded-by: _stats_lock
+        self._writes = 0  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
 
     @property
@@ -178,12 +178,14 @@ class StorageDevice:
     @property
     def busy_seconds(self) -> float:
         """Cumulative modelled device busy time."""
-        return self._busy_seconds
+        with self._stats_lock:
+            return self._busy_seconds
 
     @property
     def op_counts(self) -> tuple[int, int]:
         """``(reads, writes)`` issued against this device."""
-        return self._reads, self._writes
+        with self._stats_lock:
+            return self._reads, self._writes
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data

@@ -68,9 +68,9 @@ class FaultPolicy:
         self.read_latency_spike_s = float(read_latency_spike_s)
         self.spike_every = int(spike_every)
         self._lock = threading.Lock()
-        self._reads_seen = 0
-        self._writes_seen = 0
-        self._faults_injected = 0
+        self._reads_seen = 0  # guarded-by: _lock
+        self._writes_seen = 0  # guarded-by: _lock
+        self._faults_injected = 0  # guarded-by: _lock
 
     @classmethod
     def dead(cls) -> "FaultPolicy":

@@ -42,7 +42,7 @@ class ReplicatedDevice:
         self.primary = primary
         self.mirror = mirror
         self._stats_lock = threading.Lock()
-        self._degraded_reads = 0
+        self._degraded_reads = 0  # guarded-by: _stats_lock
 
     # -- identity and capacity (the primary fronts the pair) -----------
 

@@ -1,0 +1,22 @@
+"""Shared helpers for the repro.lint self-tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, check_module, load_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def run_rules():
+    """Run rules over one fixture file, waivers applied, findings sorted."""
+
+    def _run(fixture_name, rules):
+        module = load_module(FIXTURES / fixture_name)
+        assert not isinstance(module, Finding), f"fixture failed to parse: {module}"
+        return sorted(check_module(module, rules))
+
+    return _run

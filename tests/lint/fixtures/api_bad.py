@@ -1,0 +1,13 @@
+"""Fixture: __all__ drift the rule must reject (3 seeded)."""
+
+from os.path import join
+
+__all__ = ["join", "missing_name", "visible", "visible"]
+
+
+def visible():
+    return join("a", "b")
+
+
+def stray():
+    return 1

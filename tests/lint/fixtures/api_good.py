@@ -1,0 +1,15 @@
+"""Fixture: a surface where __all__ and the namespace agree."""
+
+from os.path import join as _join
+
+__all__ = ["visible"]
+
+_INTERNAL = 3
+
+
+def visible():
+    return _join("a", "b")
+
+
+def _helper():
+    return _INTERNAL

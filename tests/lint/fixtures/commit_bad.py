@@ -1,0 +1,20 @@
+"""Fixture: commit-point orderings the rule must reject (3 seeded)."""
+
+
+class Store:
+    def save(self, key, payload):
+        # Journal record lands before the payload exists on the device.
+        self.journal.append({"op": "chunk", "key": key})
+        self.device.write(key, payload)
+
+    def save_branchy(self, key, payload):
+        if payload.nbytes:
+            self.device.write(key, payload)
+        # On the else path the write never happened.
+        self.journal.append({"op": "seal", "key": key})
+
+    def free(self, context_id):
+        self.device.delete(context_id)
+        # A crash between the delete and this record resurrects the
+        # half-deleted context on replay.
+        self.journal.append({"op": "free", "context_id": context_id})

@@ -1,0 +1,30 @@
+"""Fixture: exception-safety violations the rule must reject (4 seeded)."""
+
+import time
+from time import sleep
+
+
+def risky():
+    raise OSError("boom")
+
+
+def swallow_all():
+    try:
+        risky()
+    except:
+        pass
+
+
+def swallow_base():
+    try:
+        risky()
+    except BaseException:
+        return None
+
+
+def nap():
+    time.sleep(0.1)
+
+
+def nap_imported():
+    sleep(0.1)

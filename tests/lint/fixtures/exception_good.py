@@ -1,0 +1,20 @@
+"""Fixture: sanctioned exception handling the rule must accept."""
+
+
+def risky():
+    raise OSError("boom")
+
+
+def narrow():
+    try:
+        risky()
+    except OSError:
+        raise
+
+
+def contained():
+    try:
+        risky()
+    # lint: disable=exception-safety -- fixture drain: settles in-flight work, then re-raises
+    except BaseException:
+        raise

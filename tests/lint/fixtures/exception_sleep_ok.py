@@ -1,0 +1,11 @@
+"""Fixture: a latency-emulation module where ``time.sleep`` is allowed.
+
+The test constructs ``ExceptionSafetyRule`` with this file in its
+``sleep_modules`` allowlist.
+"""
+
+import time
+
+
+def emulate(seconds):
+    time.sleep(seconds)

@@ -1,0 +1,25 @@
+"""Fixture: guarded-by violations the rule must catch (4 seeded)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+        self._ghost = 0  # guarded-by: _missing_lock
+
+    def bump(self):
+        self._hits += 1
+
+    def peek(self):
+        return self._hits
+
+    def deferred(self):
+        with self._lock:
+
+            def callback():
+                # A closure may outlive the with-block: not covered.
+                return self._hits
+
+            return callback

@@ -1,0 +1,28 @@
+"""Fixture: correct lock discipline the rule must accept."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+
+    def peek(self):
+        with self._lock:
+            return self._hits
+
+    def _bump_locked(self):  # holds: _lock
+        self._hits += 1
+
+    def bump_twice(self):
+        with self._lock:
+            self._bump_locked()
+            self._bump_locked()
+
+    def racy_telemetry(self):
+        return self._hits  # lint: disable=guarded-by -- fixture: torn read acceptable for telemetry

@@ -1,0 +1,22 @@
+"""Fixture: hot-path allocations the rule must reject (5 seeded).
+
+The test injects a manifest listing ``step`` and ``Decoder.advance`` (and
+a ``Decoder.gone`` that does not exist, to exercise the staleness guard).
+"""
+
+import numpy as np
+
+
+def step(xs, out):
+    joined = np.concatenate(xs)
+    dup = out.copy()
+    flat = np.ascontiguousarray(out)
+    parts = []
+    for x in xs:
+        parts.append(x)
+    return joined, dup, flat, parts
+
+
+class Decoder:
+    def advance(self, token):
+        return np.vstack([token, token])

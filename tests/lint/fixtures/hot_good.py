@@ -1,0 +1,22 @@
+"""Fixture: allocation-free hot-path code the rule must accept."""
+
+import numpy as np
+
+
+def step(xs, out):
+    total = 0
+    for i, x in enumerate(xs):
+        np.copyto(out[i], x)
+        total += int(x.sum())
+    return total
+
+
+class Decoder:
+    def advance(self, token, out):
+        out[:] = token
+        return out
+
+
+def cold_helper(xs):
+    # Not in the manifest: allocations off the hot path are fine.
+    return np.concatenate(xs)

@@ -1,0 +1,7 @@
+"""Fixture: a waiver without the mandatory reason (bad-waiver)."""
+
+import time
+
+
+def nap():
+    time.sleep(0.1)  # lint: disable=exception-safety

@@ -1,0 +1,16 @@
+"""Fixture: every waiver form the framework accepts."""
+
+import time
+
+
+def nap_trailing():
+    time.sleep(0.1)  # lint: disable=exception-safety -- fixture: deliberate wall-clock pause
+
+
+def nap_standalone():
+    # lint: disable=exception-safety -- fixture: standalone form covers the next line
+    time.sleep(0.2)
+
+
+def nap_multi_rule():
+    time.sleep(0.3)  # lint: disable=exception-safety,hot-path -- fixture: several rules, one reason

@@ -1,0 +1,26 @@
+"""api-surface: __all__ matches the public namespace."""
+
+from repro.lint import ApiSurfaceRule
+
+
+def test_bad_fixture_reports_each_kind_of_drift(run_rules):
+    findings = run_rules("api_bad.py", [ApiSurfaceRule()])
+    assert [f.rule for f in findings] == ["api-surface"] * 3
+    messages = [f.message for f in findings]
+    assert any("lists 'visible' twice" in m for m in messages)
+    assert any("exports 'missing_name'" in m for m in messages)
+    assert any("public name 'stray'" in m for m in messages)
+
+
+def test_good_fixture_is_clean(run_rules):
+    # Underscore-prefixed names and aliased imports stay private.
+    assert run_rules("api_good.py", [ApiSurfaceRule()]) == []
+
+
+def test_module_without_all_is_not_checked(run_rules, tmp_path):
+    from repro.lint import check_module, load_module
+
+    path = tmp_path / "no_all.py"
+    path.write_text("def anything():\n    return 1\n")
+    module = load_module(path)
+    assert check_module(module, [ApiSurfaceRule()]) == []

@@ -1,0 +1,35 @@
+"""exception-safety: no silent failure, no stray sleeps."""
+
+from repro.lint import ExceptionSafetyRule
+
+
+def test_bad_fixture_reports_handlers_and_sleeps(run_rules):
+    findings = run_rules("exception_bad.py", [ExceptionSafetyRule()])
+    assert [f.rule for f in findings] == ["exception-safety"] * 4
+    messages = [f.message for f in findings]
+    assert any("bare `except:`" in m for m in messages)
+    assert any("except BaseException" in m for m in messages)
+    assert sum("time.sleep outside" in m for m in messages) == 2
+
+
+def test_from_import_sleep_is_caught(run_rules):
+    findings = run_rules("exception_bad.py", [ExceptionSafetyRule()])
+    # `from time import sleep; sleep(...)` must not dodge the rule.
+    assert any(f.line == 30 for f in findings)
+
+
+def test_good_fixture_waived_drain_is_clean(run_rules):
+    assert run_rules("exception_good.py", [ExceptionSafetyRule()]) == []
+
+
+def test_sleep_allowlist_module_is_clean(run_rules):
+    rule = ExceptionSafetyRule(
+        sleep_modules=("fixtures/exception_sleep_ok.py",)
+    )
+    assert run_rules("exception_sleep_ok.py", [rule]) == []
+
+
+def test_sleep_outside_allowlist_is_flagged(run_rules):
+    findings = run_rules("exception_sleep_ok.py", [ExceptionSafetyRule()])
+    assert len(findings) == 1
+    assert "time.sleep outside" in findings[0].message

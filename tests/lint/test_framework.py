@@ -1,0 +1,123 @@
+"""Framework behaviour: waivers, parse errors, file collection, rendering."""
+
+from pathlib import Path
+
+from repro.lint import (
+    ExceptionSafetyRule,
+    Finding,
+    check_module,
+    check_paths,
+    collect_files,
+    load_module,
+)
+
+import pytest
+
+
+# -- waivers ------------------------------------------------------------
+
+
+def test_waiver_without_reason_is_bad_waiver(run_rules):
+    findings = run_rules("waiver_missing_reason.py", [ExceptionSafetyRule()])
+    assert [f.rule for f in findings] == ["bad-waiver"]
+    assert "must carry a reason" in findings[0].message
+
+
+def test_all_waiver_forms_suppress_with_reason(run_rules):
+    # Trailing, standalone-above, and multi-rule forms all carry reasons
+    # and therefore suppress cleanly.
+    assert run_rules("waiver_ok.py", [ExceptionSafetyRule()]) == []
+
+
+def test_bad_waiver_cannot_be_waived(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def nap():\n"
+        "    time.sleep(0.1)  # lint: disable=exception-safety,bad-waiver\n"
+    )
+    module = load_module(path)
+    findings = check_module(module, [ExceptionSafetyRule()])
+    assert [f.rule for f in findings] == ["bad-waiver"]
+
+
+def test_waiver_only_covers_its_line(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def nap():\n"
+        "    time.sleep(0.1)  # lint: disable=exception-safety -- first only\n"
+        "    time.sleep(0.2)\n"
+    )
+    module = load_module(path)
+    findings = check_module(module, [ExceptionSafetyRule()])
+    assert len(findings) == 1
+    assert findings[0].line == 6
+
+
+def test_waiver_for_other_rule_does_not_suppress(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def nap():\n"
+        "    time.sleep(0.1)  # lint: disable=hot-path -- wrong rule\n"
+    )
+    module = load_module(path)
+    findings = check_module(module, [ExceptionSafetyRule()])
+    assert [f.rule for f in findings] == ["exception-safety"]
+
+
+# -- loading and collection --------------------------------------------
+
+
+def test_syntax_error_becomes_parse_error_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    result = load_module(path)
+    assert isinstance(result, Finding)
+    assert result.rule == "parse-error"
+    # check_paths carries it through instead of crashing the run.
+    findings = check_paths([tmp_path], [ExceptionSafetyRule()])
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+def test_collect_files_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        collect_files([Path("/no/such/dir")])
+
+
+def test_collect_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-312.py").write_text("x = 1\n")
+    files = collect_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_collect_files_accepts_single_file(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("x = 1\n")
+    assert collect_files([path]) == [path]
+
+
+# -- findings -----------------------------------------------------------
+
+
+def test_render_format():
+    finding = Finding("a/b.py", 7, 3, "guarded-by", "boom", hint="fix it")
+    assert finding.render() == "a/b.py:7:3: guarded-by: boom\n    hint: fix it"
+    bare = Finding("a/b.py", 7, 3, "guarded-by", "boom")
+    assert "\n" not in bare.render()
+
+
+def test_findings_sort_by_location():
+    a = Finding("a.py", 2, 0, "r", "m")
+    b = Finding("a.py", 10, 0, "r", "m")
+    c = Finding("b.py", 1, 0, "r", "m")
+    assert sorted([c, b, a]) == [a, b, c]

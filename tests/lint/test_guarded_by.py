@@ -1,0 +1,34 @@
+"""guarded-by: lock-annotated attributes need their lock held."""
+
+from repro.lint import GuardedByRule
+
+
+def test_bad_fixture_reports_every_unguarded_access(run_rules):
+    findings = run_rules("guarded_bad.py", [GuardedByRule()])
+    assert [f.rule for f in findings] == ["guarded-by"] * 4
+    messages = [f.message for f in findings]
+    assert any("never assigns self._missing_lock" in m for m in messages)
+    assert any("_hits is written without holding" in m for m in messages)
+    # Two unguarded reads: the plain property and the closure that
+    # escapes the with-block.
+    assert sum("_hits is read without holding" in m for m in messages) == 2
+
+
+def test_closure_does_not_inherit_enclosing_with(run_rules):
+    findings = run_rules("guarded_bad.py", [GuardedByRule()])
+    closure_reads = [
+        f for f in findings if "read" in f.message and f.line > 18
+    ]
+    assert closure_reads, "the escaping closure's read must be flagged"
+
+
+def test_good_fixture_is_clean(run_rules):
+    assert run_rules("guarded_good.py", [GuardedByRule()]) == []
+
+
+def test_findings_carry_location_and_hint(run_rules):
+    findings = run_rules("guarded_bad.py", [GuardedByRule()])
+    for finding in findings:
+        assert finding.path.endswith("guarded_bad.py")
+        assert finding.line > 0
+        assert finding.hint
