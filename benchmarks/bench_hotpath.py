@@ -39,7 +39,16 @@ against the preserved pre-refactor baseline
    in-memory drop must recover (``StorageManager.recover`` +
    ``HCacheEngine.recover``) to a bit-exact restore.  ``recover_s`` and
    the journal footprint are recorded; exactness is never relaxed.
-6. **batched decode** — multi-session decode throughput: one
+6. **block sharing** — the block-paged prefix-sharing store: a
+   ShareGPT-style cohort of sessions with one shared system prompt is
+   saved through an engine with a :class:`repro.state.BlockStateStore`
+   and through a fully private engine.  Gate: pool dedup ratio > 1
+   (shared blocks are physically stored once), every pool-served restore
+   **bit-exact** against the private engine's with zero device reads,
+   and a fresh-pool admission restore reading strictly fewer chunks than
+   the private path (it streams only the non-shared suffix).  DRAM bytes
+   saved by dedup and chunk reads saved on restore are recorded.
+7. **batched decode** — multi-session decode throughput: one
    ``Transformer.decode_batch`` call per step over a
    :class:`StackedKVCacheBlock` vs the serial per-session loop, at
    batch sizes 1 / 4 / 16.  Gate: >= 2x tokens/s over serial at batch
@@ -93,7 +102,9 @@ from repro.models.transformer import BATCHED_DECODE_ATOL, Transformer
 from repro.runtime import RestoreExecutor
 from repro.simulator import platform_preset
 from repro.simulator.hardware import GB, SSDSpec
+from repro.state import BlockPool, BlockStateStore
 from repro.storage.array import StorageArray
+from repro.traces import ShareGPTGenerator
 from repro.storage.faults import FaultPolicy
 from repro.storage.journal import ManifestJournal
 from repro.storage.manager import StorageManager
@@ -165,6 +176,12 @@ BENCH_CONFIG = ModelConfig(
 )
 
 CHUNK_TOKENS = 64
+
+#: Block-sharing section: cohort size (sessions sharing one system
+#: prompt) and the pool's block size (two storage chunks, so partial
+#: tails and sealed blocks both occur at every measured context).
+SHARING_SESSIONS = 4
+SHARING_BLOCK_TOKENS = 2 * CHUNK_TOKENS
 
 
 def _rng() -> np.random.Generator:
@@ -616,6 +633,167 @@ def bench_durability(model: Transformer, n_tokens: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# 6. block-paged prefix sharing
+# ----------------------------------------------------------------------
+
+
+def bench_block_sharing(model: Transformer, n_tokens: int) -> dict:
+    """Dedup + restore savings of the block-paged shared-prefix store.
+
+    ``SHARING_SESSIONS`` sessions share one system prompt (half the
+    context, floored to the pool block size); their private suffixes take
+    ShareGPT-style first-round lengths.  The cohort is saved twice — once
+    through an engine with a shared :class:`BlockStateStore`, once fully
+    private — and three surfaces are measured:
+
+    - **dedup**: logical vs physical pool blocks.  The ratio must exceed
+      1 (the shared prompt's blocks are physically stored once) and the
+      DRAM bytes the dedup saves are recorded.
+    - **tracked restore**: every pool-served restore must be bit-exact
+      against the private engine's and issue zero device chunk reads.
+    - **admission restore**: a second engine over the *same* storage
+      with an empty pool.  Its first restore streams from storage and
+      publishes the pool; the next session admits the committed prefix
+      and must read strictly fewer chunks than the private path — the
+      skipped reads are the restore bytes the sharing saves.  Admitted
+      prefixes are served on the storage stream's granule grid (restore
+      bit-exactness is chunk-partition-sensitive), so the read-saving
+      gate applies only once the prompt spans at least one granule.
+    """
+    cfg = BENCH_CONFIG
+    rng = _rng()
+    prompt_tokens = n_tokens // 2 // SHARING_BLOCK_TOKENS * SHARING_BLOCK_TOKENS
+    suffix_lens = []
+    for conv in ShareGPTGenerator(seed=9).sample_many(SHARING_SESSIONS):
+        first = conv.rounds[0]
+        suffix_lens.append(
+            int(
+                np.clip(
+                    first.input_tokens + first.output_tokens,
+                    1,
+                    n_tokens - prompt_tokens,
+                )
+            )
+        )
+    system_tokens = rng.integers(0, cfg.vocab_size, size=prompt_tokens)
+    system_hidden = [
+        rng.normal(size=(prompt_tokens, cfg.hidden_size)).astype(np.float32)
+        for _ in range(cfg.n_layers)
+    ]
+
+    def make_store() -> BlockStateStore:
+        pool = BlockPool(
+            n_layers=cfg.n_layers,
+            block_tokens=SHARING_BLOCK_TOKENS,
+            n_kv_heads=cfg.n_kv_heads,
+            head_dim=cfg.head_dim,
+            hidden_width=cfg.hidden_size,
+            capacity_blocks=(SHARING_SESSIONS + 1)
+            * (n_tokens // SHARING_BLOCK_TOKENS + 2),
+        )
+        return BlockStateStore(pool)
+
+    store = make_store()
+    shared = HCacheEngine(
+        model,
+        StorageManager(build_storage_array(platform_preset("default"))),
+        shared_store=store,
+    )
+    private = HCacheEngine(
+        model, StorageManager(build_storage_array(platform_preset("default")))
+    )
+    block = 160
+    for index, suffix_len in enumerate(suffix_lens):
+        context_id = f"share-{index}"
+        suffix_tokens = rng.integers(0, cfg.vocab_size, size=suffix_len)
+        suffix_hidden = [
+            rng.normal(size=(suffix_len, cfg.hidden_size)).astype(np.float32)
+            for _ in range(cfg.n_layers)
+        ]
+        tokens = np.concatenate([system_tokens, suffix_tokens])
+        hidden = [
+            np.concatenate([system_hidden[layer], suffix_hidden[layer]])
+            for layer in range(cfg.n_layers)
+        ]
+        for engine in (shared, private):
+            engine.register_context(context_id)
+            for start in range(0, len(tokens), block):
+                stop = min(start + block, len(tokens))
+                engine.save_states(
+                    context_id, [h[start:stop] for h in hidden], tokens[start:stop]
+                )
+            engine.seal(context_id)
+
+    # Tracked restores: the sessions saved through the shared engine are
+    # fully pool-resident, so their restores never touch a device.
+    tracked_exact = True
+    tracked_reads = 0
+    private_reads = 0
+    for index in range(SHARING_SESSIONS):
+        context_id = f"share-{index}"
+        stats = RestoreBreakdown()
+        restored = shared.restore(context_id, stats=stats)
+        baseline_stats = RestoreBreakdown()
+        baseline = private.restore(context_id, stats=baseline_stats)
+        tracked_exact = tracked_exact and restored.equals(baseline, atol=0.0)
+        tracked_reads += stats.device_reads
+        private_reads += baseline_stats.device_reads
+    pool_cache, pool_restore_s = _best_of(lambda: shared.restore("share-0"))
+    stream_cache, stream_restore_s = _best_of(lambda: private.restore("share-0"))
+    tracked_exact = tracked_exact and pool_cache.equals(stream_cache, atol=0.0)
+
+    # Admission: an engine adopting the same storage with an empty pool.
+    # The seed restore streams and publishes; the next session admits the
+    # committed system prompt and reads only its suffix (granule-floored).
+    granule = shared.stream_granule_chunks * CHUNK_TOKENS
+    admitted_engine = HCacheEngine.recover(
+        model, shared.storage, shared_store=make_store()
+    )
+    seed_stats = RestoreBreakdown()
+    seed_exact = admitted_engine.restore("share-0", stats=seed_stats).equals(
+        private.restore("share-0"), atol=0.0
+    )
+    admit_stats = RestoreBreakdown()
+    admitted_exact = admitted_engine.restore("share-1", stats=admit_stats).equals(
+        private.restore("share-1"), atol=0.0
+    )
+    baseline_stats = RestoreBreakdown()
+    private.restore("share-1", stats=baseline_stats)
+    reads_saved = baseline_stats.device_reads - admit_stats.device_reads
+    chunk_bytes = CHUNK_TOKENS * cfg.hidden_size * np.dtype(np.float32).itemsize
+    store.debug_validate()
+
+    return {
+        "n_tokens": n_tokens,
+        "sessions": SHARING_SESSIONS,
+        "block_tokens": SHARING_BLOCK_TOKENS,
+        "system_prompt_tokens": prompt_tokens,
+        "suffix_tokens": suffix_lens,
+        "logical_blocks": store.logical_blocks,
+        "physical_blocks": store.physical_blocks,
+        "dedup_ratio": store.dedup_ratio(),
+        "state_bytes_saved": store.state_bytes_saved(),
+        "tracked": {
+            "pool_restore_s": pool_restore_s,
+            "stream_restore_s": stream_restore_s,
+            "device_reads": tracked_reads,
+            "private_device_reads": private_reads,
+            "bit_exact": bool(tracked_exact),
+        },
+        "admission": {
+            "gate_applies": bool(prompt_tokens >= granule),
+            "seed_device_reads": seed_stats.device_reads,
+            "admitted_device_reads": admit_stats.device_reads,
+            "private_device_reads": baseline_stats.device_reads,
+            "reads_saved": reads_saved,
+            "restore_bytes_saved": reads_saved * chunk_bytes,
+            "shared_tokens": admit_stats.shared_tokens,
+            "bit_exact": bool(seed_exact and admitted_exact),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
 
@@ -624,7 +802,7 @@ def run(sizes: list[int], window: int) -> dict:
     model = Transformer.from_seed(BENCH_CONFIG, seed=7)
     bench_restore(model, 64)  # warmup: projection stacks, BLAS threads
     report = {
-        "schema": "bench_hotpath/v5",
+        "schema": "bench_hotpath/v6",
         "config": {
             "name": BENCH_CONFIG.name,
             "n_layers": BENCH_CONFIG.n_layers,
@@ -640,6 +818,7 @@ def run(sizes: list[int], window: int) -> dict:
         "decode_batched": {},
         "restore": {},
         "durability": {},
+        "block_sharing": {},
     }
     for n in sizes:
         state = bench_state_path(n, window)
@@ -647,11 +826,13 @@ def run(sizes: list[int], window: int) -> dict:
         batched = bench_decode_batched(model, n, window)
         restore = bench_restore(model, n)
         durability = bench_durability(model, n)
+        sharing = bench_block_sharing(model, n)
         report["decode_with_capture"][str(n)] = state
         report["decode_e2e"][str(n)] = e2e
         report["decode_batched"][str(n)] = batched
         report["restore"][str(n)] = restore
         report["durability"][str(n)] = durability
+        report["block_sharing"][str(n)] = sharing
         stages = restore["stages"]
         threaded = restore["threaded"]
         degraded = durability["degraded"]
@@ -679,6 +860,15 @@ def run(sizes: list[int], window: int) -> dict:
             f"({recovery['journal_bytes']} journal B, "
             f"bit_exact={recovery['bit_exact']})"
         )
+        print(
+            f"         block-sharing dedup {sharing['dedup_ratio']:.2f}x "
+            f"({sharing['physical_blocks']}/{sharing['logical_blocks']} blocks, "
+            f"{sharing['state_bytes_saved'] / 1e6:.1f} MB pool bytes saved), "
+            f"tracked pool reads {sharing['tracked']['device_reads']} "
+            f"(bit_exact={sharing['tracked']['bit_exact']}), "
+            f"admission saves {sharing['admission']['reads_saved']} chunk reads "
+            f"(bit_exact={sharing['admission']['bit_exact']})"
+        )
     largest = str(max(sizes))
     headline = report["decode_with_capture"][largest]["speedup"]
     # The 10x acceptance target is defined at 4k tokens; smoke runs at
@@ -698,6 +888,23 @@ def run(sizes: list[int], window: int) -> dict:
     durable_all_exact = all(
         entry["degraded"]["bit_exact"] and entry["recovery"]["bit_exact"]
         for entry in report["durability"].values()
+    )
+    sharing_head = report["block_sharing"][largest]
+    sharing_min_dedup = min(
+        entry["dedup_ratio"] for entry in report["block_sharing"].values()
+    )
+    sharing_all_exact = all(
+        entry["tracked"]["bit_exact"] and entry["admission"]["bit_exact"]
+        for entry in report["block_sharing"].values()
+    )
+    sharing_zero_reads = all(
+        entry["tracked"]["device_reads"] == 0
+        for entry in report["block_sharing"].values()
+    )
+    sharing_reads_saved = all(
+        entry["admission"]["reads_saved"] > 0
+        for entry in report["block_sharing"].values()
+        if entry["admission"]["gate_applies"]
     )
     report["headline"] = {
         "metric": "decode_with_capture_state_path_speedup",
@@ -762,6 +969,29 @@ def run(sizes: list[int], window: int) -> dict:
                 and durable_head["degraded"]["wall_ratio"] <= DEGRADED_WALL_CEILING
             ),
         },
+        # Block-sharing acceptance (the block-paged state store): the
+        # shared system prompt must be physically stored once (dedup
+        # ratio > 1 at every measured size), every pool-served restore
+        # bit-exact vs the private engine with zero chunk reads, and
+        # admission restores must read strictly fewer chunks than the
+        # private path wherever the prompt spans a stream granule.
+        # Exactness and dedup are structural, never timing-relaxed.
+        "block_sharing": {
+            "at_tokens": max(sizes),
+            "dedup_ratio": sharing_head["dedup_ratio"],
+            "dedup_target": 1.0,
+            "state_bytes_saved": sharing_head["state_bytes_saved"],
+            "restore_bytes_saved": sharing_head["admission"]["restore_bytes_saved"],
+            "all_bit_exact": bool(sharing_all_exact),
+            "tracked_zero_reads": bool(sharing_zero_reads),
+            "admission_reads_saved": bool(sharing_reads_saved),
+            "met": bool(
+                sharing_min_dedup > 1.0
+                and sharing_all_exact
+                and sharing_zero_reads
+                and sharing_reads_saved
+            ),
+        },
     }
     gate = (
         f"target 10x, met={report['headline']['met']}"
@@ -779,7 +1009,10 @@ def run(sizes: list[int], window: int) -> dict:
         f"equivalent={batched_equivalent}); durable restore "
         f"{durable_head['degraded']['wall_ratio']:.2f}x degraded wall, recover "
         f"{durable_head['recovery']['recover_s'] * 1e3:.2f} ms "
-        f"(met={report['headline']['durable_restore']['met']})"
+        f"(met={report['headline']['durable_restore']['met']}); block sharing "
+        f"{sharing_head['dedup_ratio']:.2f}x dedup, "
+        f"{sharing_head['state_bytes_saved'] / 1e6:.1f} MB saved "
+        f"(met={report['headline']['block_sharing']['met']})"
     )
     return report
 
@@ -835,6 +1068,23 @@ def main() -> int:
             f"over {max(DECODE_BATCH_SIZES)} sessions must be >= "
             f"{BATCHED_SPEEDUP_FLOOR}x the serial loop at "
             f"{BATCHED_GATE_TOKENS} tokens)",
+            file=sys.stderr,
+        )
+        return 1
+    sharing = report["headline"]["block_sharing"]
+    if not sharing["all_bit_exact"]:
+        print(
+            "ERROR: a pool-served shared restore diverged from the private "
+            "engine's (sharing must never change a restored byte)",
+            file=sys.stderr,
+        )
+        return 1
+    if sharing["met"] is False:
+        print(
+            "ERROR: block-sharing gate failed (pool dedup ratio must exceed "
+            "1.0 at every size, tracked restores must read zero chunks, and "
+            "admission restores must read strictly fewer chunks than the "
+            "private path wherever the prompt spans a stream granule)",
             file=sys.stderr,
         )
         return 1

@@ -11,7 +11,7 @@
 #     checker (lock discipline, §6.2 commit-point ordering, hot-path
 #     allocation bans, exception safety, __all__ drift); zero findings
 #     required, deliberate exceptions carry in-source waivers;
-#   - mypy, non-strict, over repro.storage + repro.runtime.
+#   - mypy, non-strict, over repro.storage + repro.runtime + repro.state.
 # ruff and mypy are optional *locally* (skipped with a notice via
 # require_or_skip below) but REQUIRED in CI: a missing tool there is a
 # broken pipeline, not a soft skip.  repro.lint ships with the repo and
@@ -36,7 +36,11 @@
 #     BATCHED_DECODE_ATOL at every measured size),
 #   - the PR-6 durable-restore gate (all-primaries-dead failover reads
 #     bit-exact and <= 2x the healthy restore's wall clock; journaled
-#     save -> full in-memory drop -> recover -> bit-exact restore).
+#     save -> full in-memory drop -> recover -> bit-exact restore),
+#   - the PR-8 block-sharing gate (pool dedup ratio > 1 on the shared-
+#     system-prompt cohort, every pool-served restore bit-exact vs the
+#     private engine with zero device reads, admission restores reading
+#     strictly fewer chunks than the private path).
 # Hot-path regressions fail here before the committed numbers drift.
 #
 # CHECK_RELAX_TIMING=1 (set by CI) widens the timing thresholds
@@ -76,7 +80,7 @@ require_or_skip ruff python -m ruff check src tests benchmarks scripts
 echo "== invariant lint (repro.lint: guarded-by, commit-point, hot-path, exception-safety, api-surface) =="
 python -m repro.lint src
 
-echo "== types (mypy, non-strict, repro.storage + repro.runtime) =="
+echo "== types (mypy, non-strict, repro.storage + repro.runtime + repro.state) =="
 require_or_skip mypy python -m mypy
 
 echo "== tier-1 tests =="
@@ -94,7 +98,26 @@ echo "== crash-recovery smoke (journal truncation property, crash-window recover
 python -m pytest -q tests/storage/test_journal.py tests/storage/test_recovery.py \
     tests/integration/test_kill_and_resume.py
 
-echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k + degraded/recovered restore) =="
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k + degraded/recovered restore + block-sharing dedup/bit-exactness) =="
 python benchmarks/bench_hotpath.py --smoke
+
+# The committed numbers must carry the block-sharing section the smoke
+# gate just re-proved live: a stale BENCH_hotpath.json (regenerated
+# before the shared store landed, or with sharing accidentally disabled)
+# fails here even though the live smoke passed.
+echo "== committed BENCH_hotpath.json block-sharing gate (dedup ratio > 1, restores bit-exact) =="
+python - <<'EOF'
+import json, sys
+headline = json.load(open("BENCH_hotpath.json"))["headline"]
+sharing = headline.get("block_sharing")
+if sharing is None:
+    sys.exit("BENCH_hotpath.json predates the block_sharing section; regenerate it")
+if not (sharing["dedup_ratio"] > 1.0 and sharing["all_bit_exact"] and sharing["met"]):
+    sys.exit(f"committed block_sharing gate not met: {sharing}")
+print(
+    f"committed block_sharing: dedup {sharing['dedup_ratio']:.2f}x, "
+    f"{sharing['state_bytes_saved'] / 1e6:.1f} MB saved, bit-exact"
+)
+EOF
 
 echo "all checks passed"

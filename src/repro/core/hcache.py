@@ -29,8 +29,12 @@ from repro.simulator.pipeline import LayerMethod
 from repro.storage.manager import StorageManager
 from repro.storage.streaming import pipelined_makespan
 
-if TYPE_CHECKING:  # pragma: no cover - typing-only import
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    # BlockStateStore is typing-only to break the import cycle
+    # core.hcache -> repro.state -> repro.cache -> repro.baselines ->
+    # repro.core; the store arrives fully constructed by the caller.
     from repro.runtime.executor import RestoreExecutor
+    from repro.state import BlockStateStore
 
 
 @dataclass
@@ -73,6 +77,11 @@ class RestoreBreakdown:
     modelled_io_s: float = 0.0
     modelled_serial_s: float = 0.0
     modelled_pipelined_s: float = 0.0
+    #: Tokens served from the shared block pool instead of storage (their
+    #: chunk reads never reach a device).
+    shared_tokens: int = 0
+    #: Measured wall time projecting/installing pool-resident blocks.
+    pool_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,7 @@ class HCacheEngine:
         platform: Platform | None = None,
         scheme: PartitionScheme | None = None,
         stream_granule_chunks: int = 4,
+        shared_store: BlockStateStore | None = None,
     ) -> None:
         """Create an engine.
 
@@ -115,6 +125,14 @@ class HCacheEngine:
             stream_granule_chunks: Storage chunks coalesced into each
                 streamed restore granule.  IO stays chunk-granular; this
                 only sets how many rows each fused projection call covers.
+            shared_store: Optional block-paged state store
+                (:class:`repro.state.BlockStateStore`).  When given,
+                saves also publish each context's stored rows into the
+                shared pool and restores serve any pool-resident shared
+                prefix without touching storage — bit-exactly equal to
+                the unshared path.  Its block size must be a multiple of
+                the storage chunk size so shared prefixes are always
+                chunk-aligned, and its geometry must match the model.
         """
         if stream_granule_chunks <= 0:
             raise ConfigError("stream_granule_chunks must be positive")
@@ -135,6 +153,25 @@ class HCacheEngine:
         else:
             self.scheme = PartitionScheme.pure_hcache(config.n_layers)
             self.decision = None
+        if shared_store is not None:
+            pool = shared_store.pool
+            if pool.block_tokens % storage.tokens_per_chunk != 0:
+                raise ConfigError(
+                    f"pool blocks of {pool.block_tokens} tokens must be a "
+                    f"multiple of the {storage.tokens_per_chunk}-token chunk"
+                )
+            if (
+                pool.n_layers != config.n_layers
+                or pool.hidden_width != config.hidden_size
+                or pool.n_kv_heads != config.n_kv_heads
+                or pool.head_dim != config.head_dim
+            ):
+                raise ConfigError("shared store geometry mismatches the model")
+            if self.scheme.n_recompute == config.n_layers:
+                # A pure-recompute scheme stores no state rows at all;
+                # tracking sessions would only pin empty blocks.
+                shared_store = None
+        self.shared_store = shared_store
         self._contexts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -151,6 +188,8 @@ class HCacheEngine:
             hidden_width=self.transformer.config.hidden_size,
             dtype=np.float32,
         )
+        if self.shared_store is not None:
+            self.shared_store.track(context_id)
         self._contexts[context_id] = 0
 
     def has_context(self, context_id: str) -> bool:
@@ -205,9 +244,16 @@ class HCacheEngine:
         # then always covers the durable rows, so crash recovery can
         # truncate it to the recovered row count without inventing ids.
         self.storage.journal_tokens(context_id, tokens)
+        shared_rows: dict[tuple[int, str], np.ndarray] = {}
+        publish = (
+            self.shared_store is not None
+            and self.shared_store.is_tracked(context_id)
+        )
         for layer, method in enumerate(self.scheme.methods):
             if method is LayerMethod.HIDDEN:
                 self.storage.append(context_id, layer, hidden_states[layer], kind="hidden")
+                if publish:
+                    shared_rows[(layer, "hidden")] = hidden_states[layer]
             elif method is LayerMethod.KV:
                 assert kv_cache is not None
                 have = kv_cache.layer_len(layer)
@@ -217,12 +263,17 @@ class HCacheEngine:
                         f"need {start + n_new}"
                     )
                 # Pack only the new rows — O(block), not O(history).
-                self.storage.append(
-                    context_id,
-                    layer,
-                    kv_cache.packed_rows(layer, start, start + n_new),
-                    kind="kv",
-                )
+                packed = kv_cache.packed_rows(layer, start, start + n_new)
+                self.storage.append(context_id, layer, packed, kind="kv")
+                if publish:
+                    shared_rows[(layer, "kv")] = packed
+        if publish:
+            # Mirror the same bytes into the shared pool (dedup happens as
+            # blocks fill).  A False return means the session fell back to
+            # the unshared path — storage remains the source of truth, so
+            # nothing else changes.
+            assert self.shared_store is not None
+            self.shared_store.append(context_id, start, tokens, shared_rows)
         self._contexts[context_id] = start + n_new
 
     def seal(self, context_id: str) -> None:
@@ -231,8 +282,15 @@ class HCacheEngine:
         self.storage.seal_context(context_id)
 
     def drop_context(self, context_id: str) -> None:
-        """Remove a context's states entirely."""
+        """Remove a context's states entirely.
+
+        Shared pool blocks are unreferenced, not destroyed: blocks other
+        sessions still reference stay live, and committed refcount-0
+        blocks linger as eviction candidates for future admissions.
+        """
         self.saved_tokens(context_id)
+        if self.shared_store is not None and self.shared_store.is_tracked(context_id):
+            self.shared_store.release(context_id)
         self.storage.free_context(context_id)
         del self._contexts[context_id]
 
@@ -255,6 +313,7 @@ class HCacheEngine:
         platform: Platform | None = None,
         scheme: PartitionScheme | None = None,
         stream_granule_chunks: int = 4,
+        shared_store: BlockStateStore | None = None,
     ) -> "HCacheEngine":
         """Adopt a crash-recovered storage manager's contexts.
 
@@ -266,8 +325,17 @@ class HCacheEngine:
         the scheme's layer methods raise
         :class:`~repro.errors.RecoveryError` rather than restoring wrong
         state.
+
+        ``shared_store`` may be a fresh (empty) block store: the DRAM
+        pool does not survive a crash, but each post-recovery
+        :meth:`restore` re-admits its context and republishes the rows it
+        streams back, so shared prefixes re-deduplicate to the same
+        content-hash keys and refcounts rebuild as survivors restore.
         """
-        engine = cls(transformer, storage, platform, scheme, stream_granule_chunks)
+        engine = cls(
+            transformer, storage, platform, scheme, stream_granule_chunks,
+            shared_store=shared_store,
+        )
         config = transformer.config
         for context_id in storage.context_ids():
             meta = storage.meta(context_id)
@@ -374,20 +442,50 @@ class HCacheEngine:
         cache.reserve(max(n_tokens, reserve_tokens))
         self._check_stored(context_id, hidden_layers, "hidden", n_tokens)
         self._check_stored(context_id, kv_layers, "kv", n_tokens)
+        shared, suffix_rows = self._shared_prefix(context_id, n_tokens)
+        if timed:
+            stats.shared_tokens = shared
         io_times: list[float] = []
         compute_times: list[float] = []
         if hidden_layers:
-            workspace = self.transformer.restore_workspace(
-                positions,
-                min(
-                    n_tokens,
-                    self.stream_granule_chunks * self.storage.tokens_per_chunk,
-                ),
+            granule_tokens = min(
+                n_tokens,
+                self.stream_granule_chunks * self.storage.tokens_per_chunk,
             )
+            workspace = self.transformer.restore_workspace(positions, granule_tokens)
             views = {
                 layer: cache.install_view(layer, n_tokens) for layer in hidden_layers
             }
             proj_stats = stats.projection if timed else None
+            if shared:
+                t0 = time.perf_counter() if timed else 0.0
+                # Pool-served rows MUST project in the exact granule
+                # partition the storage stream would have used: the fused
+                # projection is only bit-stable for a fixed chunk split,
+                # not across splits, so serving a block-sized chunk here
+                # would diverge from the private path in the last ulp.
+                staging = np.empty(
+                    (granule_tokens, config.hidden_size), dtype=np.float32
+                )
+                for layer in hidden_layers:
+                    k_view, v_view = views[layer]
+                    for span_start in range(0, shared, granule_tokens):
+                        span_stop = min(span_start + granule_tokens, shared)
+                        rows = span_stop - span_start
+                        self._gather_pool_hidden(
+                            context_id, layer, span_start, span_stop, staging
+                        )
+                        self.transformer.project_kv_chunk(
+                            layer,
+                            staging[:rows],
+                            span_start,
+                            k_view[span_start:span_stop],
+                            v_view[span_start:span_stop],
+                            workspace,
+                            proj_stats,
+                        )
+                if timed:
+                    stats.pool_s += time.perf_counter() - t0
 
             def project_hidden(chunk) -> None:
                 k_view, v_view = views[chunk.layer]
@@ -400,37 +498,162 @@ class HCacheEngine:
                     workspace,
                     proj_stats,
                 )
+                if suffix_rows is not None:
+                    suffix_rows[(chunk.layer, "hidden")][
+                        chunk.start - shared : chunk.stop - shared
+                    ] = chunk.data
 
-            self._drain_stream(
-                context_id, hidden_layers, "hidden", project_hidden,
-                stats, io_times, compute_times, executor,
-            )
+            if shared < n_tokens:
+                self._drain_stream(
+                    context_id, hidden_layers, "hidden", project_hidden,
+                    stats, io_times, compute_times, executor, shared,
+                )
         if kv_layers:
             for layer in kv_layers:
                 cache.install_view(layer, n_tokens)
+            if shared:
+                t0 = time.perf_counter() if timed else 0.0
+                block_tokens = self.shared_store.block_tokens
+                for layer in kv_layers:
+                    for index in range(-(-shared // block_tokens)):
+                        bstart = index * block_tokens
+                        k_rows, v_rows = self.shared_store.kv_rows(
+                            context_id, index, layer
+                        )
+                        rows = min(k_rows.shape[0], shared - bstart)
+                        cache.install_rows(layer, bstart, k_rows[:rows], v_rows[:rows])
+                if timed:
+                    stats.pool_s += time.perf_counter() - t0
 
             def install_kv(chunk) -> None:
                 t0 = time.perf_counter() if timed else 0.0
                 cache.install_packed_rows(chunk.layer, chunk.start, chunk.data)
                 if timed:
                     stats.install_s += time.perf_counter() - t0
+                if suffix_rows is not None:
+                    suffix_rows[(chunk.layer, "kv")][
+                        chunk.start - shared : chunk.stop - shared
+                    ] = chunk.data
 
-            self._drain_stream(
-                context_id, kv_layers, "kv", install_kv,
-                stats, io_times, compute_times, executor,
+            if shared < n_tokens:
+                self._drain_stream(
+                    context_id, kv_layers, "kv", install_kv,
+                    stats, io_times, compute_times, executor, shared,
+                )
+        if suffix_rows is not None:
+            # Close the admission gap: the suffix rows just streamed from
+            # storage are republished into the pool, so the session is
+            # fully pool-resident (future appends stay contiguous) and its
+            # suffix blocks become shareable for later admissions.  The
+            # table may hold a few more blocks than the granule-aligned
+            # ``shared`` (admission adopts whole blocks); append only what
+            # the pool does not already have.
+            assert self.shared_store is not None
+            resident = self.shared_store.resident_tokens(context_id)
+            tokens_all = self.storage.token_log(context_id)
+            fresh = {
+                key: rows[resident - shared :] for key, rows in suffix_rows.items()
+            }
+            self.shared_store.append(
+                context_id, resident, list(tokens_all[resident:n_tokens]), fresh
             )
         if timed:
             stats.modelled_io_s = sum(io_times)
-            compute_total = sum(compute_times) + stats.recompute_s
+            compute_total = sum(compute_times) + stats.recompute_s + stats.pool_s
             stats.modelled_serial_s = stats.modelled_io_s + compute_total
-            # The RECOMPUTE prefix needs no stored state, so its replay
-            # overlaps the stream from the very first read.
+            # The RECOMPUTE prefix and the pool-resident shared prefix
+            # need no stored state, so their replay/projection overlaps
+            # the stream from the very first read.
             pipeline_io = [0.0] + io_times
-            pipeline_compute = [stats.recompute_s] + compute_times
+            pipeline_compute = [stats.recompute_s + stats.pool_s] + compute_times
             stats.modelled_pipelined_s = pipelined_makespan(pipeline_io, pipeline_compute)
         if len(cache) != n_tokens:
             raise RestorationError("restored cache length mismatch")
         return cache
+
+    def _shared_prefix(
+        self, context_id: str, n_tokens: int
+    ) -> tuple[int, dict[tuple[int, str], np.ndarray] | None]:
+        """Resolve the pool-resident prefix before a restore.
+
+        Returns ``(shared_tokens, suffix_rows)``.  A tracked session is
+        fully pool-resident (saves mirror appends 1:1), so the whole
+        restore is served from blocks.  An untracked one — evicted before
+        the store existed, or re-registered after crash recovery — is
+        admitted against the pool's committed prefixes; when that leaves
+        a gap, ``suffix_rows`` carries preallocated collection buffers
+        the drain fills so the gap can be republished afterwards.
+        ``shared_tokens`` is always granule-aligned or equal to
+        ``n_tokens``, so the streamed suffix sits on the same granule
+        grid a private restore uses.
+        """
+        store = self.shared_store
+        if store is None:
+            return 0, None
+        granule = self.stream_granule_chunks * self.storage.tokens_per_chunk
+        if store.is_tracked(context_id):
+            resident = store.resident_tokens(context_id)
+            if resident > n_tokens:
+                raise StateError(
+                    f"context {context_id!r} has {resident} pool-resident tokens "
+                    f"but only {n_tokens} saved"
+                )
+            if resident == n_tokens:
+                return resident, None
+            # Defensive: a tracked session should mirror its saves
+            # exactly; serve whatever aligned prefix is resident.
+            return (resident // granule) * granule, None
+        tokens = self.storage.token_log(context_id)
+        admitted = store.admit(context_id, list(tokens[:n_tokens]))
+        if admitted >= n_tokens:
+            return admitted, None
+        # Rounding down to a granule boundary keeps the suffix stream on
+        # the same granule grid a fully private restore walks — sharing
+        # may only change where bytes come from, never the chunk split
+        # the projection sees (bit-exactness is split-sensitive).
+        shared = (admitted // granule) * granule
+        config = self.transformer.config
+        suffix = n_tokens - shared
+        suffix_rows: dict[tuple[int, str], np.ndarray] = {}
+        for layer, method in enumerate(self.scheme.methods):
+            if method is LayerMethod.HIDDEN:
+                suffix_rows[(layer, "hidden")] = np.empty(
+                    (suffix, config.hidden_size), dtype=np.float32
+                )
+            elif method is LayerMethod.KV:
+                suffix_rows[(layer, "kv")] = np.empty(
+                    (suffix, 2 * config.kv_size), dtype=np.float32
+                )
+        return shared, suffix_rows
+
+    def _gather_pool_hidden(
+        self,
+        context_id: str,
+        layer: int,
+        start: int,
+        stop: int,
+        out: np.ndarray,
+    ) -> None:
+        """Assemble pool-resident hidden rows ``[start, stop)`` into ``out``.
+
+        Spans cross block boundaries, so the rows are copied into one
+        contiguous staging buffer before projection — the projection must
+        see the stream path's exact granule shapes, and a pool block view
+        cannot provide a span that straddles two blocks.
+        """
+        store = self.shared_store
+        assert store is not None
+        block_tokens = store.block_tokens
+        filled = 0
+        position = start
+        while position < stop:
+            index = position // block_tokens
+            offset = position % block_tokens
+            data = store.hidden_rows(context_id, index, layer)
+            take = min(stop - position, data.shape[0] - offset)
+            out[filled : filled + take] = data[offset : offset + take]
+            filled += take
+            position += take
 
     def _drain_stream(
         self,
@@ -442,8 +665,12 @@ class HCacheEngine:
         io_times: list[float],
         compute_times: list[float],
         executor: "RestoreExecutor | None" = None,
+        start_tokens: int = 0,
     ) -> None:
         """Double-buffered drain of a chunk stream.
+
+        ``start_tokens`` (chunk-aligned) skips each layer's pool-served
+        shared-prefix rows.
 
         The staging ring holds two granules, so the pending granule's
         data stays valid while the next granule's read is issued; only
@@ -460,14 +687,14 @@ class HCacheEngine:
             executor.drain(
                 self.storage, context_id, layers, kind,
                 self.stream_granule_chunks, consume,
-                stats, io_times, compute_times,
+                stats, io_times, compute_times, start_tokens,
             )
             return
         timed = stats is not None
         ring = self.storage.staging_ring(
             context_id, kind, depth=2, granule_chunks=self.stream_granule_chunks
         )
-        stream = self.storage.stream_layers(context_id, layers, kind, ring)
+        stream = self.storage.stream_layers(context_id, layers, kind, ring, start_tokens)
 
         def advance():
             t0 = time.perf_counter() if timed else 0.0

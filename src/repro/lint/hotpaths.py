@@ -39,6 +39,7 @@ HOT_PATHS: dict[str, frozenset[str]] = {
         {
             "KVCache.append",
             "KVCache.install_view",
+            "KVCache.install_rows",
             "StackedKVCacheBlock.append_token",
         }
     ),
@@ -61,6 +62,28 @@ HOT_PATHS: dict[str, frozenset[str]] = {
             "rope_rotate_fullwidth_into",
         }
     ),
+    # Block-paged state store (PR 8): per-save block writes, admission
+    # probes, and the pool-served restore reads run once per append /
+    # per block — rows move by slice assignment into preallocated pool
+    # arrays, never through fresh concatenations.
+    "repro/state/pool.py": frozenset(
+        {
+            "BlockPool.lookup",
+            "BlockPool.adopt_committed",
+            "BlockPool.kv_views",
+            "BlockPool.hidden_view",
+        }
+    ),
+    "repro/state/store.py": frozenset(
+        {
+            "BlockStateStore.append",
+            "BlockStateStore._write_rows",
+            "BlockStateStore.hidden_rows",
+            "BlockStateStore.kv_rows",
+        }
+    ),
+    # Pool-served shared-prefix gather on the restore path.
+    "repro/core/hcache.py": frozenset({"HCacheEngine._gather_pool_hidden"}),
     # Storage granule loop: chunk reads land straight in staging slots.
     "repro/storage/device.py": frozenset({"StorageDevice.read_into"}),
     "repro/storage/manager.py": frozenset(

@@ -111,6 +111,7 @@ class RestoreExecutor:
         stats: "RestoreBreakdown | None" = None,
         io_times: list[float] | None = None,
         compute_times: list[float] | None = None,
+        start_tokens: int = 0,
     ) -> None:
         """Threaded counterpart of ``HCacheEngine._drain_stream``.
 
@@ -122,8 +123,12 @@ class RestoreExecutor:
         wall clock, and ``stats.read_s`` accumulates the time this thread
         actually *stalled* waiting for a read — i.e. the IO the pipeline
         failed to hide, which is 0 in the ideal §4.1 timeline.
+        ``start_tokens`` (chunk-aligned) skips every layer's shared-prefix
+        rows, exactly like the single-threaded stream.
         """
-        plan = storage.granule_plan(context_id, layers, kind, granule_chunks)
+        plan = storage.granule_plan(
+            context_id, layers, kind, granule_chunks, start_tokens
+        )
         if not plan:
             return
         timed = stats is not None

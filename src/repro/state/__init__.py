@@ -1,0 +1,28 @@
+"""Block-paged session state with cross-session prefix sharing.
+
+A :class:`BlockPool` of refcounted fixed-size KV + hidden-state blocks,
+per-session :class:`BlockTable` indirection, hash-chained content keys
+per token prefix (:mod:`repro.state.keys`), and the
+:class:`BlockStateStore` that ties them together: prefix-cache admission,
+copy-on-write on divergence, content-verified dedup on commit, and
+refcount-aware LRU eviction.  The serving engine re-points its restore
+path at the store so shared prefixes are served from the pool and only
+the non-shared suffix is read from storage — bit-exactly equal to the
+fully private path.
+"""
+
+from repro.state.keys import GENESIS_KEY, chain_key, prefix_block_keys
+from repro.state.pool import BlockPool, PoolStats
+from repro.state.store import BlockStateStore, StoreStats
+from repro.state.table import BlockTable
+
+__all__ = [
+    "GENESIS_KEY",
+    "BlockPool",
+    "BlockStateStore",
+    "BlockTable",
+    "PoolStats",
+    "StoreStats",
+    "chain_key",
+    "prefix_block_keys",
+]

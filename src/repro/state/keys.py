@@ -1,0 +1,65 @@
+"""Hash-chained content keys for block-aligned token prefixes.
+
+The block store names every *full* block of a session by the chain hash
+of all tokens from the start of the sequence up to and including that
+block (the LMCache ``_hash``/``CacheEngineKey`` scheme): block ``i``'s
+key is ``H(key(i-1) || tokens[i*B:(i+1)*B])``.  Two sessions that share
+a token prefix therefore derive byte-identical keys for the shared
+blocks — and *only* for them, since any earlier divergence poisons every
+later key in the chain.  That property is what makes prefix-cache lookup
+a plain dict probe: walk a new session's keys left to right and stop at
+the first miss.
+
+Keys are content addresses of the *token* prefix, not of the stored
+state bytes; committing a block under its key additionally verifies the
+payload against any block already published under the same key (see
+:meth:`repro.state.BlockStateStore`), so a chain collision between
+numerically different states can never alias silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: The empty-prefix ancestor every chain starts from.
+GENESIS_KEY = ""
+
+
+def chain_key(prefix_key: str, tokens: np.ndarray | Sequence[int]) -> str:
+    """Extend ``prefix_key`` by one block of token ids.
+
+    The digest covers the previous key's ASCII form plus the block's ids
+    as little-endian int64 bytes, so the key is invariant to the caller's
+    integer dtype but sensitive to every id and to their order.
+    """
+    ids = np.ascontiguousarray(np.asarray(tokens, dtype=np.int64))
+    if ids.ndim != 1 or ids.size == 0:
+        raise ConfigError("a chain link needs a non-empty 1-D token block")
+    return hashlib.sha256(prefix_key.encode("ascii") + ids.tobytes()).hexdigest()
+
+
+def prefix_block_keys(
+    tokens: np.ndarray | Sequence[int], block_tokens: int
+) -> list[str]:
+    """Chain keys for every *full* ``block_tokens``-sized block of ``tokens``.
+
+    ``keys[i]`` names the prefix ``tokens[: (i + 1) * block_tokens]``.  A
+    trailing partial block has no key — partial blocks are private by
+    construction and only become shareable once they fill.
+    """
+    if block_tokens <= 0:
+        raise ConfigError("block_tokens must be positive")
+    ids = np.asarray(tokens, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ConfigError("token sequence must be 1-D")
+    keys: list[str] = []
+    key = GENESIS_KEY
+    for start in range(0, ids.size - block_tokens + 1, block_tokens):
+        key = chain_key(key, ids[start : start + block_tokens])
+        keys.append(key)
+    return keys

@@ -1,0 +1,58 @@
+"""Per-session block tables: the indirection from token index to block.
+
+A :class:`BlockTable` is nothing but an ordered list of pool block ids
+plus the number of tokens resident in them.  Token ``t`` of the session
+lives at row ``t % block_tokens`` of block ``blocks[t // block_tokens]``.
+All sharing semantics (refcounts, copy-on-write, commit keys) live in
+:class:`repro.state.BlockStateStore`; the table is deliberately dumb so
+the property harness can mirror it with a plain list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StateError
+
+
+@dataclass
+class BlockTable:
+    """Ordered block ids backing one session's resident prefix."""
+
+    block_tokens: int
+    blocks: list[int] = field(default_factory=list)
+    n_tokens: int = 0
+    #: Token ids resident in the table, used to extend the chain of
+    #: prefix keys as blocks fill (and by recovery to re-derive them).
+    token_ids: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.block_tokens <= 0:
+            raise StateError("block_tokens must be positive")
+
+    @property
+    def tail_fill(self) -> int:
+        """Rows occupied in the last block (0 means block-aligned)."""
+        return self.n_tokens % self.block_tokens
+
+    @property
+    def n_full_blocks(self) -> int:
+        return self.n_tokens // self.block_tokens
+
+    def locate(self, token_index: int) -> tuple[int, int]:
+        """(block id, row within block) holding ``token_index``."""
+        if not 0 <= token_index < self.n_tokens:
+            raise StateError(
+                f"token {token_index} outside resident range [0, {self.n_tokens})"
+            )
+        return (
+            self.blocks[token_index // self.block_tokens],
+            token_index % self.block_tokens,
+        )
+
+    def block_span(self, index: int) -> tuple[int, int]:
+        """Resident token range ``[start, stop)`` covered by block ``index``."""
+        if not 0 <= index < len(self.blocks):
+            raise StateError(f"block index {index} out of range")
+        start = index * self.block_tokens
+        return start, min(start + self.block_tokens, self.n_tokens)

@@ -693,6 +693,7 @@ class StorageManager:
         layers: Sequence[int],
         kind: str = "hidden",
         granule_chunks: int = 1,
+        start_tokens: int = 0,
     ) -> list[GranuleSpec]:
         """Enumerate the granules a streamed restore of ``layers`` covers.
 
@@ -703,15 +704,26 @@ class StorageManager:
         stay bit-exact with the reference restore.  The threaded executor
         walks this plan to submit :meth:`read_granule_into` calls to its
         IO worker pool ahead of consumption.
+
+        ``start_tokens`` skips rows ``[0, start_tokens)`` of every layer —
+        the shared-prefix restore path reads only the non-shared suffix.
+        It must be chunk-aligned (granule starts stay chunk boundaries,
+        so the suffix stream reads the same device chunks a full stream
+        would for those rows).
         """
         if granule_chunks <= 0:
             raise ConfigError("granule_chunks must be positive")
+        if start_tokens < 0 or start_tokens % self.tokens_per_chunk != 0:
+            raise ConfigError(
+                f"start_tokens must be a non-negative multiple of the "
+                f"{self.tokens_per_chunk}-token chunk size, got {start_tokens}"
+            )
         self.meta(context_id)
         granule = granule_chunks * self.tokens_per_chunk
         plan: list[GranuleSpec] = []
         for layer in layers:
             n_tokens = self.allocator.run(context_id, layer, kind).n_tokens
-            for gstart in range(0, n_tokens, granule):
+            for gstart in range(start_tokens, n_tokens, granule):
                 plan.append(
                     GranuleSpec(
                         layer=layer,
@@ -778,8 +790,12 @@ class StorageManager:
         layer: int,
         kind: str = "hidden",
         ring: StagingRing | None = None,
+        start_tokens: int = 0,
     ) -> Iterator[LayerChunk]:
         """Stream one layer's token run as granule-sized row blocks.
+
+        ``start_tokens`` (chunk-aligned) starts the stream mid-run,
+        skipping rows a shared prefix already supplies.
 
         Yields :class:`LayerChunk` granules in row order, filled by the
         same :meth:`read_granule_into` the threaded executor calls from
@@ -813,7 +829,9 @@ class StorageManager:
                 f"granule of {granule} tokens must be a multiple of the "
                 f"{cpc}-token chunk size"
             )
-        for spec in self.granule_plan(context_id, [layer], kind, granule // cpc):
+        for spec in self.granule_plan(
+            context_id, [layer], kind, granule // cpc, start_tokens
+        ):
             slot = ring.acquire()
             view = slot[: spec.n_tokens]
             io_seconds, device_reads = self.read_granule_into(context_id, spec, view)
@@ -833,6 +851,7 @@ class StorageManager:
         layers: Sequence[int],
         kind: str = "hidden",
         ring: StagingRing | None = None,
+        start_tokens: int = 0,
     ) -> Iterator[LayerChunk]:
         """Stream several layers back to back through one staging ring.
 
@@ -848,7 +867,7 @@ class StorageManager:
         if ring is None and len(layers) > 0:
             ring = self.staging_ring(context_id, kind)
         for layer in layers:
-            yield from self.stream_layer(context_id, layer, kind, ring)
+            yield from self.stream_layer(context_id, layer, kind, ring, start_tokens)
 
     def layer_read_timing(
         self, context_id: str, layer: int, kind: str = "hidden"

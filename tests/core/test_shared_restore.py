@@ -1,0 +1,205 @@
+"""Prefix-dedup bit-exactness: shared restore == private restore.
+
+N sessions sharing a system prompt, saved through an engine with a
+block-paged :class:`~repro.state.BlockStateStore`, must restore to
+byte-identical KV caches — and continue with identical logits and greedy
+token streams — as the same N sessions saved through a fully private
+engine.  Sharing is a pure optimization: it may only change *where*
+prefix state is read from (the pool instead of storage devices), never a
+single restored byte.  The device op counters prove the "where": tracked
+shared restores touch storage zero times, fresh admissions read only the
+non-shared suffix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hcache import HCacheEngine, RestoreBreakdown
+from repro.core.partition import PartitionScheme
+from repro.core.profiler import build_storage_array
+from repro.models import Transformer, model_preset
+from repro.models.config import ModelConfig
+from repro.simulator import platform_preset
+from repro.storage import StorageManager
+from repro.state import BlockPool, BlockStateStore
+
+BLOCK_TOKENS = 16
+CHUNK_TOKENS = 8
+SYSTEM_PROMPT_TOKENS = 40  # not block-aligned: shared floor is 32
+N_SESSIONS = 3
+
+
+def gqa_config() -> ModelConfig:
+    """Grouped-query attention: kv_size != hidden_size, so only the
+    hidden-state (pure HCache) representation can be paged."""
+    return ModelConfig(
+        name="tiny-gqa",
+        n_layers=3,
+        hidden_size=64,
+        n_heads=4,
+        n_kv_heads=2,
+        ffn_hidden_size=128,
+        n_ffn_mats=3,
+        vocab_size=128,
+        max_context=512,
+    )
+
+
+CASES = {
+    # (config factory, scheme factory): rmsnorm+rope, layernorm, and GQA.
+    "tiny-llama": (
+        lambda: model_preset("tiny-llama"),
+        lambda n: PartitionScheme.pure_hcache(n),
+    ),
+    "tiny-opt-layernorm": (
+        lambda: model_preset("tiny-opt"),
+        lambda n: PartitionScheme.with_kv_suffix(n, 1),
+    ),
+    "tiny-gqa": (gqa_config, lambda n: PartitionScheme.pure_hcache(n)),
+}
+
+
+def make_storage() -> StorageManager:
+    return StorageManager(
+        build_storage_array(platform_preset("default")),
+        tokens_per_chunk=CHUNK_TOKENS,
+    )
+
+
+def make_store(config: ModelConfig, capacity_blocks: int = 96) -> BlockStateStore:
+    pool = BlockPool(
+        n_layers=config.n_layers,
+        block_tokens=BLOCK_TOKENS,
+        n_kv_heads=config.n_kv_heads,
+        head_dim=config.head_dim,
+        hidden_width=config.hidden_size,
+        capacity_blocks=capacity_blocks,
+    )
+    return BlockStateStore(pool)
+
+
+def session_tokens(config: ModelConfig, index: int) -> np.ndarray:
+    """Shared system prompt + a private suffix with a partial-tail length."""
+    shared_rng = np.random.default_rng(42)
+    system = shared_rng.integers(0, config.vocab_size, size=SYSTEM_PROMPT_TOKENS)
+    private_rng = np.random.default_rng(1000 + index)
+    # 5, 9, 17, ...: none block-aligned, one spilling past a block.
+    suffix = private_rng.integers(0, config.vocab_size, size=5 + 4 * index + (index == 2))
+    return np.concatenate([system, suffix])
+
+
+def save_all(engine: HCacheEngine, model: Transformer, config: ModelConfig) -> None:
+    for index in range(N_SESSIONS):
+        tokens = session_tokens(config, index)
+        context_id = f"s{index}"
+        engine.register_context(context_id)
+        result, cache = model.prefill(tokens, capture_hidden=True)
+        engine.save_states(context_id, result.hidden_states, tokens, kv_cache=cache)
+        engine.seal(context_id)
+
+
+def greedy_stream(model: Transformer, cache, n_steps: int = 4) -> list[int]:
+    """Greedy continuation from a restored cache (mutates the cache)."""
+    token = 1 % model.config.vocab_size
+    stream = []
+    for _ in range(n_steps):
+        result = model.forward(np.array([token]), cache)
+        token = int(np.argmax(result.logits[-1]))
+        stream.append(token)
+    return stream
+
+
+@pytest.fixture(params=sorted(CASES), ids=sorted(CASES))
+def case(request):
+    config_of, scheme_of = CASES[request.param]
+    config = config_of()
+    model = Transformer.from_seed(config, seed=11)
+    scheme = scheme_of(config.n_layers)
+    store = make_store(config)
+    shared = HCacheEngine(model, make_storage(), scheme=scheme, shared_store=store)
+    private = HCacheEngine(model, make_storage(), scheme=scheme)
+    save_all(shared, model, config)
+    save_all(private, model, config)
+    return config, model, store, shared, private
+
+
+class TestBitExactness:
+    def test_sessions_actually_share(self, case):
+        _, _, store, _, _ = case
+        assert store.dedup_ratio() > 1.0
+        assert store.stats.dedup_hits >= (N_SESSIONS - 1) * (
+            SYSTEM_PROMPT_TOKENS // BLOCK_TOKENS
+        )
+        store.debug_validate()
+
+    def test_tracked_restore_bit_exact_with_zero_device_reads(self, case):
+        config, _, _, shared, private = case
+        for index in range(N_SESSIONS):
+            context_id = f"s{index}"
+            stats = RestoreBreakdown()
+            restored = shared.restore(context_id, stats=stats)
+            baseline = private.restore(context_id)
+            assert restored.equals(baseline)
+            # Fully pool-resident: the restore never touched a device.
+            assert stats.device_reads == 0
+            assert stats.shared_tokens == len(session_tokens(config, index))
+
+    def test_greedy_streams_and_logits_identical(self, case):
+        config, model, _, shared, private = case
+        for index in range(N_SESSIONS):
+            context_id = f"s{index}"
+            restored = shared.restore(context_id)
+            baseline = private.restore(context_id)
+            probe = np.array([2 % config.vocab_size, 3 % config.vocab_size])
+            logits_shared = model.forward(probe.copy(), restored).logits
+            logits_private = model.forward(probe.copy(), baseline).logits
+            assert np.array_equal(logits_shared, logits_private)
+        restored = shared.restore("s0")
+        baseline = private.restore("s0")
+        assert greedy_stream(model, restored) == greedy_stream(model, baseline)
+
+    def test_fresh_admission_reads_strictly_fewer_chunks(self, case):
+        """A new engine over the SAME storage with an empty pool: restore
+        admits the shared prefix published by the first session's restore
+        and reads strictly fewer granules for the rest."""
+        config, model, _, shared, private = case
+        store2 = make_store(config)
+        engine2 = HCacheEngine(
+            model, shared.storage, scheme=shared.scheme, shared_store=store2
+        )
+        engine2._contexts = dict(shared._contexts)
+        # First restore populates the pool from storage (full read).
+        seed_stats = RestoreBreakdown()
+        first = engine2.restore("s0", stats=seed_stats)
+        assert first.equals(private.restore("s0"))
+        assert seed_stats.device_reads > 0
+        # Second session now admits the shared system prompt.
+        stats = RestoreBreakdown()
+        restored = engine2.restore("s1", stats=stats)
+        baseline_stats = RestoreBreakdown()
+        baseline = private.restore("s1", stats=baseline_stats)
+        assert restored.equals(baseline)
+        shared_floor = SYSTEM_PROMPT_TOKENS - SYSTEM_PROMPT_TOKENS % BLOCK_TOKENS
+        assert stats.shared_tokens >= shared_floor
+        assert 0 < stats.device_reads < baseline_stats.device_reads
+        store2.debug_validate()
+
+    def test_partial_tail_grows_across_incremental_saves(self, case):
+        """Decode-step saves extend the partial tail block; restore stays
+        bit-exact against the private engine doing the same."""
+        config, model, _, shared, private = case
+        tokens = session_tokens(config, 0)
+        for engine in (shared, private):
+            _, cache = model.prefill(tokens, capture_hidden=True)
+            # Replay the same three decode steps through both engines.
+            cache = engine.restore("s0")
+            for step_token in (5, 7, 11):
+                token = np.array([step_token % config.vocab_size])
+                step = model.decode_step(int(token[0]), cache, capture_hidden=True)
+                engine.save_states("s0", step.hidden_states, token, kv_cache=cache)
+        restored = shared.restore("s0")
+        baseline = private.restore("s0")
+        assert restored.equals(baseline)
+        assert len(restored) == len(tokens) + 3

@@ -1,0 +1,205 @@
+"""Crash recovery x prefix sharing: the block pool after a hard drop.
+
+The block pool is DRAM — a crash destroys it along with every refcount
+and block table.  Durability lives entirely in the journaled storage
+tier, so recovery hands the engine a *fresh, empty* store, and the pool
+repopulates through the completely ordinary restore path: the first
+restore streams from storage and publishes its blocks; later restores
+admit the now-committed shared prefix and read only their suffix.
+
+These tests pin down that interaction:
+
+- recovered shared restores are bit-exact against pre-crash state;
+- refcounts and block tables rebuilt by restore-driven admission satisfy
+  the refcount == referencing-tables invariant (``debug_validate``);
+- releasing one recovered session never orphans or double-frees blocks a
+  surviving session still references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hcache import HCacheEngine, RestoreBreakdown
+from repro.models.config import model_preset
+from repro.models.transformer import Transformer
+from repro.simulator.hardware import GB, SSDSpec
+from repro.state import BlockPool, BlockStateStore
+from repro.storage import ManifestJournal, StorageArray, StorageManager
+
+CHUNK_TOKENS = 8
+BLOCK_TOKENS = 16
+SYSTEM_PROMPT = 48  # three shared blocks, chunk- and block-aligned
+N_SESSIONS = 3
+
+SPEC = SSDSpec(
+    "t-ssd", read_bandwidth=3 * GB, write_bandwidth=1 * GB, capacity_bytes=1 * GB
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Transformer.from_seed(model_preset("tiny-llama"), seed=11)
+
+
+@pytest.fixture
+def journal_factory(tmp_path):
+    journals = []
+
+    def make(name="j"):
+        journal = ManifestJournal(tmp_path / name)
+        journals.append(journal)
+        return journal
+
+    yield make
+    for journal in journals:
+        journal.close()
+
+
+def make_store(config) -> BlockStateStore:
+    pool = BlockPool(
+        n_layers=config.n_layers,
+        block_tokens=BLOCK_TOKENS,
+        n_kv_heads=config.n_kv_heads,
+        head_dim=config.head_dim,
+        hidden_width=config.hidden_size,
+        capacity_blocks=64,
+    )
+    return BlockStateStore(pool)
+
+
+def session_tokens(config, index: int) -> np.ndarray:
+    system = np.random.default_rng(21).integers(
+        0, config.vocab_size, size=SYSTEM_PROMPT
+    )
+    suffix = np.random.default_rng(500 + index).integers(
+        0, config.vocab_size, size=17 + 8 * index
+    )
+    return np.concatenate([system, suffix])
+
+
+def build_saved_stack(model, journal):
+    """An engine with a shared store, three sealed shared-prefix sessions."""
+    config = model.config
+    array = StorageArray([SPEC, SPEC], link_bandwidth=8 * GB)
+    manager = StorageManager(array, tokens_per_chunk=CHUNK_TOKENS, journal=journal)
+    store = make_store(config)
+    engine = HCacheEngine(model, manager, shared_store=store)
+    for index in range(N_SESSIONS):
+        tokens = session_tokens(config, index)
+        context_id = f"s{index}"
+        engine.register_context(context_id)
+        result, cache = model.prefill(tokens, capture_hidden=True)
+        engine.save_states(context_id, result.hidden_states, tokens, kv_cache=cache)
+        engine.seal(context_id)
+    return array, engine, store
+
+
+class TestSharedRecovery:
+    def test_restore_driven_repopulation_is_bit_exact(self, model, journal_factory):
+        array, victim, store = build_saved_stack(model, journal_factory("a"))
+        assert store.dedup_ratio() > 1.0
+        references = {
+            f"s{i}": victim.restore(f"s{i}") for i in range(N_SESSIONS)
+        }
+
+        # KILL: engine, store, pool, refcounts — everything in DRAM.
+        victim.storage.journal.close()
+        del victim, store
+
+        manager = StorageManager.recover(
+            array, journal_factory("a"), tokens_per_chunk=CHUNK_TOKENS
+        )
+        fresh_store = make_store(model.config)
+        resumed = HCacheEngine.recover(model, manager, shared_store=fresh_store)
+
+        # First restore: full stream from storage, publishes the pool.
+        seed_stats = RestoreBreakdown()
+        assert resumed.restore("s0", stats=seed_stats).equals(references["s0"])
+        assert seed_stats.device_reads > 0
+        assert seed_stats.shared_tokens == 0
+        assert fresh_store.resident_tokens("s0") == len(references["s0"])
+
+        # Later restores admit the republished shared prefix: bit-exact,
+        # strictly fewer device reads than the seeding restore.
+        for index in (1, 2):
+            context_id = f"s{index}"
+            stats = RestoreBreakdown()
+            assert resumed.restore(context_id, stats=stats).equals(
+                references[context_id]
+            )
+            # Admission shares whole blocks but the restore serves a
+            # granule-aligned floor of them (the suffix stream must stay
+            # on the private path's granule grid for bit-exactness).
+            granule = resumed.stream_granule_chunks * CHUNK_TOKENS
+            assert stats.shared_tokens >= SYSTEM_PROMPT // granule * granule
+            assert 0 < stats.device_reads < seed_stats.device_reads
+            # Gap-close: the session is now fully pool-resident.
+            assert fresh_store.resident_tokens(context_id) == len(
+                references[context_id]
+            )
+        fresh_store.debug_validate()
+
+    def test_recovered_refcounts_match_tables(self, model, journal_factory):
+        array, victim, _ = build_saved_stack(model, journal_factory("b"))
+        victim.storage.journal.close()
+        del victim
+
+        manager = StorageManager.recover(
+            array, journal_factory("b"), tokens_per_chunk=CHUNK_TOKENS
+        )
+        fresh_store = make_store(model.config)
+        resumed = HCacheEngine.recover(model, manager, shared_store=fresh_store)
+        for index in range(N_SESSIONS):
+            resumed.restore(f"s{index}")
+        # All three tables reference the shared system-prompt blocks.
+        shared_blocks = fresh_store.table("s0").blocks[: SYSTEM_PROMPT // BLOCK_TOKENS]
+        for block_id in shared_blocks:
+            assert fresh_store.pool.refcount(block_id) == N_SESSIONS
+        assert fresh_store.dedup_ratio() > 1.0
+        fresh_store.debug_validate()
+
+    def test_post_recovery_release_never_orphans_survivors(
+        self, model, journal_factory
+    ):
+        array, victim, _ = build_saved_stack(model, journal_factory("c"))
+        references = {
+            f"s{i}": victim.restore(f"s{i}") for i in range(N_SESSIONS)
+        }
+        victim.storage.journal.close()
+        del victim
+
+        manager = StorageManager.recover(
+            array, journal_factory("c"), tokens_per_chunk=CHUNK_TOKENS
+        )
+        fresh_store = make_store(model.config)
+        resumed = HCacheEngine.recover(model, manager, shared_store=fresh_store)
+        for index in range(N_SESSIONS):
+            resumed.restore(f"s{index}")
+        shared_blocks = fresh_store.table("s1").blocks[: SYSTEM_PROMPT // BLOCK_TOKENS]
+
+        # Dropping s0 releases its references but must not free blocks the
+        # survivors still pin — nor double-free anything on later drops.
+        resumed.drop_context("s0")
+        assert not fresh_store.is_tracked("s0")
+        for block_id in shared_blocks:
+            assert fresh_store.pool.refcount(block_id) == N_SESSIONS - 1
+        fresh_store.debug_validate()
+
+        # Survivors still restore bit-exact from the pool, zero reads.
+        for index in (1, 2):
+            stats = RestoreBreakdown()
+            assert resumed.restore(f"s{index}", stats=stats).equals(
+                references[f"s{index}"]
+            )
+            assert stats.device_reads == 0
+        fresh_store.debug_validate()
+
+        # Dropping the remaining sessions unwinds cleanly to zero refs;
+        # the shared blocks stay resident as committed eviction candidates.
+        resumed.drop_context("s1")
+        resumed.drop_context("s2")
+        assert fresh_store.pool.live_blocks == 0
+        assert len(fresh_store.pool.evictable_blocks()) > 0
+        fresh_store.debug_validate()

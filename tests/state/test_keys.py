@@ -1,0 +1,66 @@
+"""Hash-chained prefix keys (repro.state.keys)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.state import GENESIS_KEY, chain_key, prefix_block_keys
+
+
+def test_genesis_key_is_empty():
+    assert GENESIS_KEY == ""
+
+
+def test_chain_key_deterministic_and_dtype_invariant():
+    a = chain_key(GENESIS_KEY, [1, 2, 3, 4])
+    b = chain_key(GENESIS_KEY, np.array([1, 2, 3, 4], dtype=np.int32))
+    c = chain_key(GENESIS_KEY, np.array([1, 2, 3, 4], dtype=np.int64))
+    assert a == b == c
+    assert len(a) == 64  # sha256 hex
+
+
+def test_chain_key_sensitive_to_ids_order_and_prefix():
+    base = chain_key(GENESIS_KEY, [1, 2, 3, 4])
+    assert chain_key(GENESIS_KEY, [1, 2, 3, 5]) != base
+    assert chain_key(GENESIS_KEY, [4, 3, 2, 1]) != base
+    assert chain_key(base, [1, 2, 3, 4]) != base
+    assert chain_key("other", [1, 2, 3, 4]) != base
+
+
+def test_chain_key_rejects_empty_and_non_1d():
+    with pytest.raises(ConfigError):
+        chain_key(GENESIS_KEY, [])
+    with pytest.raises(ConfigError):
+        chain_key(GENESIS_KEY, np.zeros((2, 2), dtype=np.int64))
+
+
+def test_prefix_block_keys_full_blocks_only():
+    tokens = list(range(10))
+    keys = prefix_block_keys(tokens, 4)
+    assert len(keys) == 2  # 10 tokens, block 4: two full blocks, tail unkeyed
+    assert keys[0] == chain_key(GENESIS_KEY, tokens[:4])
+    assert keys[1] == chain_key(keys[0], tokens[4:8])
+    assert prefix_block_keys(tokens[:3], 4) == []
+    assert prefix_block_keys([], 4) == []
+
+
+def test_prefix_block_keys_shared_prefix_shares_keys_exactly():
+    a = [5, 6, 7, 8, 1, 2, 3, 4, 9, 9, 9, 9]
+    b = [5, 6, 7, 8, 1, 2, 3, 4, 0, 0, 0, 0]
+    keys_a = prefix_block_keys(a, 4)
+    keys_b = prefix_block_keys(b, 4)
+    assert keys_a[:2] == keys_b[:2]
+    assert keys_a[2] != keys_b[2]
+    # Early divergence poisons every later key even if tokens re-align.
+    c = [5, 6, 7, 0] + a[4:]
+    keys_c = prefix_block_keys(c, 4)
+    assert all(kc != ka for kc, ka in zip(keys_c, keys_a))
+
+
+def test_prefix_block_keys_validates_inputs():
+    with pytest.raises(ConfigError):
+        prefix_block_keys([1, 2, 3], 0)
+    with pytest.raises(ConfigError):
+        prefix_block_keys(np.zeros((2, 2), dtype=np.int64), 4)

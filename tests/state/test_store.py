@@ -1,0 +1,238 @@
+"""BlockStateStore: admission, CoW, dedup-on-seal, fallback, eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, StateError
+from repro.state import BlockPool, BlockStateStore, prefix_block_keys
+
+BT = 4
+N_LAYERS = 2
+HIDDEN = 4
+KV_WIDTH = 4  # 2 * heads(1) * head_dim(2)
+
+
+def make_store(capacity: int = 16) -> BlockStateStore:
+    pool = BlockPool(
+        n_layers=N_LAYERS,
+        block_tokens=BT,
+        n_kv_heads=1,
+        head_dim=2,
+        hidden_width=HIDDEN,
+        capacity_blocks=capacity,
+    )
+    return BlockStateStore(pool)
+
+
+def rows_for(tokens: list[int], start: int, salt: float = 0.0) -> dict:
+    """Deterministic rows for tokens[start:] (same tokens -> same bytes)."""
+    out = {}
+    t = np.asarray(tokens, dtype=np.float32)
+    for layer in range(N_LAYERS):
+        for kind, width in (("hidden", HIDDEN), ("kv", KV_WIDTH)):
+            base = t * (layer + 1) + (7.0 if kind == "kv" else 0.0) + salt
+            cols = np.arange(width, dtype=np.float32)
+            out[(layer, kind)] = (base[:, None] + cols[None, :])[start:]
+    return out
+
+
+def write_session(
+    store: BlockStateStore, session_id: str, tokens: list[int], salt: float = 0.0
+) -> bool:
+    store.track(session_id)
+    return store.append(session_id, 0, tokens, rows_for(tokens, 0, salt))
+
+
+def test_track_admit_release_lifecycle():
+    store = make_store()
+    store.track("a")
+    assert store.is_tracked("a")
+    with pytest.raises(StateError):
+        store.track("a")
+    with pytest.raises(StateError):
+        store.admit("a", [1, 2, 3])
+    store.release("a")
+    assert not store.is_tracked("a")
+    store.release("a")  # idempotent
+    with pytest.raises(StateError):
+        store.table("a")
+
+
+def test_append_seals_full_blocks_and_keeps_tail_private():
+    store = make_store()
+    tokens = list(range(10))
+    assert write_session(store, "a", tokens)
+    table = store.table("a")
+    assert table.n_tokens == 10
+    assert len(table.blocks) == 3
+    pool = store.pool
+    assert pool.committed_key(table.blocks[0]) is not None
+    assert pool.committed_key(table.blocks[1]) is not None
+    assert pool.committed_key(table.blocks[2]) is None  # partial tail
+    assert store.stats.committed_blocks == 2
+    store.debug_validate()
+
+
+def test_identical_sessions_dedup_to_shared_blocks():
+    store = make_store()
+    tokens = list(range(8))
+    assert write_session(store, "a", tokens)
+    assert write_session(store, "b", tokens)
+    ta, tb = store.table("a"), store.table("b")
+    assert ta.blocks == tb.blocks
+    assert store.stats.dedup_hits == 2
+    assert store.stats.committed_blocks == 2
+    assert store.logical_blocks == 4
+    assert store.physical_blocks == 2
+    assert store.dedup_ratio() == 2.0
+    assert store.state_bytes_saved() == 2 * store.pool.block_nbytes()
+    # Shared reads are bit-identical through either table.
+    for layer in range(N_LAYERS):
+        for index in range(2):
+            assert np.array_equal(
+                store.hidden_rows("a", index, layer),
+                store.hidden_rows("b", index, layer),
+            )
+    store.debug_validate()
+
+
+def test_admit_adopts_committed_prefix_and_stops_at_first_miss():
+    store = make_store()
+    tokens = list(range(12))
+    assert write_session(store, "a", tokens)
+    shared = store.admit("b", tokens[:8] + [99, 98, 97, 96, 95])
+    assert shared == 8  # two full shared blocks; divergent third missed
+    assert store.stats.admitted_shared_tokens == 8
+    assert store.resident_tokens("b") == 8
+    assert store.table("b").blocks == store.table("a").blocks[:2]
+    # The admitted suffix appends contiguously from the shared boundary.
+    suffix_tokens = tokens[:8] + [99, 98, 97, 96, 95]
+    assert store.append("b", 8, suffix_tokens[8:], rows_for(suffix_tokens, 8))
+    assert store.resident_tokens("b") == 13
+    store.debug_validate()
+
+
+def test_admit_with_no_shared_prefix_starts_empty():
+    store = make_store()
+    assert store.admit("a", [1, 2, 3, 4, 5]) == 0
+    assert store.resident_tokens("a") == 0
+
+
+def test_noncontiguous_append_falls_back_and_releases():
+    store = make_store()
+    store.track("a")
+    tokens = [1, 2, 3, 4]
+    assert not store.append("a", 2, tokens, rows_for([0, 0] + tokens, 2))
+    assert store.stats.contiguity_fallbacks == 1
+    assert not store.is_tracked("a")
+    store.debug_validate()
+
+
+def test_capacity_exhaustion_falls_back_and_releases():
+    store = make_store(capacity=2)
+    tokens = list(range(12))  # needs 3 blocks, pool holds 2
+    assert not write_session(store, "a", tokens)
+    assert store.stats.capacity_fallbacks == 1
+    assert not store.is_tracked("a")
+    # Nothing leaked: the released table dropped its partial writes.
+    assert store.pool.live_blocks == 0
+    store.debug_validate()
+
+
+def test_fork_then_divergence_pays_exactly_one_cow():
+    store = make_store()
+    tokens = list(range(6))  # one full block + 2-token tail
+    assert write_session(store, "a", tokens)
+    store.fork("a", "b")
+    assert store.table("b").blocks == store.table("a").blocks
+    assert store.pool.refcount(store.table("a").blocks[1]) == 2
+    # Child writes the shared tail: CoW duplicates it, parent untouched.
+    child_tokens = tokens + [77, 78]
+    assert store.append("b", 6, [77, 78], rows_for(child_tokens, 6))
+    assert store.stats.cow_copies == 1
+    ta, tb = store.table("a"), store.table("b")
+    assert ta.blocks[0] == tb.blocks[0]
+    assert ta.blocks[1] != tb.blocks[1]
+    # Parent's tail rows kept their exact bytes.
+    want = rows_for(tokens, 0)[(0, "hidden")][4:6]
+    assert np.array_equal(store.hidden_rows("a", 1, 0), want)
+    store.debug_validate()
+
+
+def test_append_into_committed_block_copies_even_at_refcount_one():
+    store = make_store()
+    tokens = list(range(4))
+    assert write_session(store, "a", tokens)
+    block = store.table("a").blocks[0]
+    assert store.pool.committed_key(block) is not None
+    # Appending a 5th token opens a NEW block; the sealed one is immutable,
+    # so the table still points at it and no CoW is needed.
+    more = tokens + [9]
+    assert store.append("a", 4, [9], rows_for(more, 4))
+    assert store.table("a").blocks[0] == block
+    assert store.stats.cow_copies == 0
+    store.debug_validate()
+
+
+def test_hash_conflict_keeps_private_block_and_bit_exact_readers():
+    store = make_store()
+    tokens = list(range(4))
+    assert write_session(store, "a", tokens, salt=0.0)
+    # Same tokens, numerically different payload: the chain key collides
+    # but content verification refuses the alias.
+    assert write_session(store, "b", tokens, salt=0.5)
+    assert store.stats.hash_conflicts == 1
+    assert store.stats.dedup_hits == 0
+    ta, tb = store.table("a"), store.table("b")
+    assert ta.blocks[0] != tb.blocks[0]
+    assert np.array_equal(
+        store.hidden_rows("a", 0, 0), rows_for(tokens, 0, 0.0)[(0, "hidden")]
+    )
+    assert np.array_equal(
+        store.hidden_rows("b", 0, 0), rows_for(tokens, 0, 0.5)[(0, "hidden")]
+    )
+    store.debug_validate()
+
+
+def test_row_validation():
+    store = make_store()
+    store.track("a")
+    good = rows_for([1, 2], 0)
+    with pytest.raises(ConfigError):
+        store.append("a", 0, [1, 2], {(99, "hidden"): good[(0, "hidden")]})
+    with pytest.raises(ConfigError):
+        store.append("a", 0, [1, 2], {(0, "bogus"): good[(0, "hidden")]})
+    with pytest.raises(ConfigError):
+        store.append("a", 0, [1, 2], {(0, "hidden"): np.zeros((3, HIDDEN))})
+    with pytest.raises(ConfigError):
+        store.append("a", 0, [1, 2], {(0, "kv"): np.zeros((2, KV_WIDTH + 1))})
+    # The failed validations never touched the table.
+    assert store.resident_tokens("a") == 0
+
+
+def test_evicted_prefix_readmits_under_identical_chain_keys():
+    """Eviction satellite: evict a shared prefix, re-publish it, and the
+    content-hash keys line up again so a fresh admit re-dedups."""
+    store = make_store(capacity=4)
+    tokens = list(range(8))
+    keys = prefix_block_keys(tokens, BT)
+    assert write_session(store, "a", tokens)
+    assert [store.pool.committed_key(b) for b in store.table("a").blocks] == keys
+    store.release("a")
+    # Fill the pool with unrelated pinned state: the parked blocks of "a"
+    # are the only victims, so both get evicted.
+    filler = [50, 51, 52, 53] * 4
+    assert write_session(store, "f", filler)
+    assert store.pool.stats.evictions >= 2
+    assert store.pool.lookup(keys[0]) is None
+    assert store.pool.lookup(keys[1]) is None
+    store.release("f")
+    # Re-publishing the same tokens re-commits under the SAME keys...
+    assert write_session(store, "a2", tokens)
+    assert [store.pool.committed_key(b) for b in store.table("a2").blocks] == keys
+    # ...so a fresh admission re-dedups against the readmitted prefix.
+    assert store.admit("b", tokens) == 8
+    assert store.table("b").blocks == store.table("a2").blocks
+    store.debug_validate()
