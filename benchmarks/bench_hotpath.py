@@ -48,7 +48,19 @@ against the preserved pre-refactor baseline
    and a fresh-pool admission restore reading strictly fewer chunks than
    the private path (it streams only the non-shared suffix).  DRAM bytes
    saved by dedup and chunk reads saved on restore are recorded.
-7. **batched decode** — multi-session decode throughput: one
+7. **sharded restore** — the PR-9 ``ShardedRestoreExecutor``: one
+   restoration partitioned across a ``(pipeline x tensor)`` grid of
+   simulated GPUs (layer stages x GQA-aligned KV-head ranges), run
+   under multi-channel latency emulation so the shard workers' reads
+   genuinely overlap (``channels = pipeline * tensor`` — the per-shard
+   ingest links of §5's sharded-read picture).  Measured wall clock per
+   shard shape is recorded next to the ``modelled_sharded_s`` makespan
+   (slowest-stage two-stream recurrence with the tensor dimension's
+   aggregated bandwidth and all-gathers).  Gate at 4k: the 2x2 grid
+   beats the single-shard threaded restore (speedup > 1) with
+   ``gap_ratio`` within the acceptance band, and every shape restores
+   bit-exact (never relaxed).
+8. **batched decode** — multi-session decode throughput: one
    ``Transformer.decode_batch`` call per step over a
    :class:`StackedKVCacheBlock` vs the serial per-session loop, at
    batch sizes 1 / 4 / 16.  Gate: >= 2x tokens/s over serial at batch
@@ -67,10 +79,10 @@ root (``--smoke`` runs a reduced-window subset — still including the
 establishing the performance trajectory future PRs are measured against.
 
 Setting ``CHECK_RELAX_TIMING=1`` (used by CI on noisy shared runners)
-widens the *timing* gates — threaded-restore speedup/gap and the
-batched-decode speedup floor — while keeping every exactness check and
-the 10x state-path floor strict.  The committed JSON must be produced
-without it.
+widens the *timing* gates — threaded-restore and sharded-restore
+speedup/gap and the batched-decode speedup floor — while keeping every
+exactness check and the 10x state-path floor strict.  The committed JSON
+must be produced without it.
 """
 
 from __future__ import annotations
@@ -99,7 +111,7 @@ from repro.models.reference import (
     naive_scaled_dot_product_attention,
 )
 from repro.models.transformer import BATCHED_DECODE_ATOL, Transformer
-from repro.runtime import RestoreExecutor
+from repro.runtime import RestoreExecutor, ShardedRestoreExecutor
 from repro.simulator import platform_preset
 from repro.simulator.hardware import GB, SSDSpec
 from repro.state import BlockPool, BlockStateStore
@@ -121,6 +133,18 @@ THREADED_GAP_CEILING = 3.0 if RELAX_TIMING else 1.5
 
 #: Batched-decode gate threshold at batch 16 (strict -> relaxed).
 BATCHED_SPEEDUP_FLOOR = 1.3 if RELAX_TIMING else 2.0
+
+#: Sharded-restore gate thresholds (strict -> relaxed): the 2x2 grid
+#: must beat the single-shard threaded restore at 4k tokens, with wall
+#: clock within the gap ceiling of the modelled sharded makespan.
+#: Bit-exactness across every shard shape is never relaxed.
+SHARDED_SPEEDUP_FLOOR = 0.75 if RELAX_TIMING else 1.0
+SHARDED_GAP_CEILING = 3.0 if RELAX_TIMING else 1.5
+
+#: Shard shapes measured by the sharded-restore section
+#: (pipeline_shards x tensor_shards).  2x2 carries the gate.
+SHARDED_SHAPES = ((1, 1), (2, 1), (1, 2), (2, 2))
+SHARDED_GATE_SHAPE = "2x2"
 
 #: Degraded-read gate (strict -> relaxed): a restore that fails every
 #: primary chunk read over to the mirror must finish within this
@@ -157,6 +181,20 @@ THREADED_POOL_SIZE = 1
 BALANCED_BENCH_SSD = SSDSpec(
     name="bench-balanced",
     read_bandwidth=0.4 * GB,
+    write_bandwidth=1.0 * GB,
+    io_latency=20e-6,
+)
+
+#: Storage device for the sharded-restore comparison.  Sharding's win is
+#: aggregated read bandwidth, so the section runs IO-dominated (read
+#: time several times the projection compute): a single ingest link is
+#: the bottleneck the shard grid removes.  4x slower than the balanced
+#: device puts the 4k restore at ~40 ms of modelled IO vs ~10 ms of
+#: compute — a 2x2 grid's aggregated links turn that into a compute-
+#: bound restore, which is exactly the §5 story being measured.
+SHARDED_BENCH_SSD = SSDSpec(
+    name="bench-sharded",
+    read_bandwidth=0.1 * GB,
     write_bandwidth=1.0 * GB,
     io_latency=20e-6,
 )
@@ -533,6 +571,105 @@ def bench_restore(model: Transformer, n_tokens: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# 4b. sharded restore: (pipeline x tensor) grids vs single-shard threaded
+# ----------------------------------------------------------------------
+
+
+def bench_restore_sharded(model: Transformer, n_tokens: int) -> dict:
+    """Sharded parallel restoration across simulated GPU grids (PR 9).
+
+    One context is saved onto a deliberately slow single-link array
+    (``SHARDED_BENCH_SSD`` — the IO-dominated regime where aggregated
+    read bandwidth is the win), then restored through every
+    ``SHARDED_SHAPES`` grid under latency emulation with ``channels =
+    pipeline * tensor``: each shard worker sleeps its modelled IO on its
+    own channel, so the grid's reads genuinely overlap while the
+    single-shard baseline (``RestoreExecutor`` pool of 1, one channel)
+    pays the full serial link — measured wall clock, not accounting.
+
+    Per shape the report records wall clock, speedup vs the single-shard
+    threaded baseline, the ``modelled_sharded_s`` slowest-stage makespan
+    and its ``gap_ratio``, the dispatch/stall overhead counters, and a
+    bit-exactness check against the un-emulated single restore.
+    """
+    cfg = BENCH_CONFIG
+    rng = _rng()
+    hidden = [
+        rng.normal(size=(n_tokens, cfg.hidden_size)).astype(np.float32)
+        for _ in range(cfg.n_layers)
+    ]
+    tokens = rng.integers(0, cfg.vocab_size, size=n_tokens)
+    array = StorageArray([SHARDED_BENCH_SSD], link_bandwidth=32 * GB)
+    engine = HCacheEngine(model, StorageManager(array))
+    engine.register_context("bench")
+    block = 160
+    for start in range(0, n_tokens, block):
+        stop = min(start + block, n_tokens)
+        engine.save_states("bench", [h[start:stop] for h in hidden], tokens[start:stop])
+    engine.seal("bench")
+    oracle = engine.restore("bench")
+
+    # Single-shard threaded baseline: one IO worker, one emulation
+    # channel — the serial ingest link every grid is compared against.
+    emulator = array.emulate_latency()
+    try:
+        with RestoreExecutor(1) as executor:
+
+            def baseline_run():
+                result = engine.restore("bench", executor=executor)
+                emulator.flush()
+                return result
+
+            base_cache, base_s = _best_of(baseline_run, reps=5)
+    finally:
+        array.stop_latency_emulation()
+    bit_exact = base_cache.equals(oracle, atol=0.0)
+
+    per_shape = {}
+    for pipeline_shards, tensor_shards in SHARDED_SHAPES:
+        emulator = array.emulate_latency(channels=pipeline_shards * tensor_shards)
+        try:
+            with ShardedRestoreExecutor((pipeline_shards, tensor_shards)) as executor:
+
+                def sharded_run():
+                    result = engine.restore("bench", executor=executor)
+                    emulator.flush()
+                    return result
+
+                # Five reps (vs three elsewhere): the gap gate compares a
+                # wall clock against a modelled makespan, and on a busy
+                # host the minimum needs more draws to converge.
+                cache, wall_s = _best_of(sharded_run, reps=5)
+                # Separate timed run so the stage probes never inflate
+                # the measured wall clock.
+                stats = RestoreBreakdown()
+                engine.restore("bench", stats=stats, executor=executor)
+                emulator.flush()
+        finally:
+            array.stop_latency_emulation()
+        shape_exact = cache.equals(oracle, atol=0.0)
+        bit_exact = bit_exact and shape_exact
+        modelled = stats.modelled_sharded_s
+        per_shape[f"{pipeline_shards}x{tensor_shards}"] = {
+            "pipeline_shards": pipeline_shards,
+            "tensor_shards": tensor_shards,
+            "wall_s": wall_s,
+            "speedup_vs_single_shard": base_s / wall_s,
+            "modelled_sharded_s": modelled,
+            "gap_ratio": wall_s / modelled if modelled else float("inf"),
+            "dispatch_s": stats.dispatch_s,
+            "exposed_read_stall_s": stats.read_s,
+            "bit_exact": bool(shape_exact),
+        }
+    return {
+        "n_tokens": n_tokens,
+        "single_shard_threaded_s": base_s,
+        "per_shape": per_shape,
+        "bit_exact": bool(bit_exact),
+    }
+
+
+# ----------------------------------------------------------------------
 # 5. durability: degraded failover reads + journal recovery
 # ----------------------------------------------------------------------
 
@@ -802,7 +939,7 @@ def run(sizes: list[int], window: int) -> dict:
     model = Transformer.from_seed(BENCH_CONFIG, seed=7)
     bench_restore(model, 64)  # warmup: projection stacks, BLAS threads
     report = {
-        "schema": "bench_hotpath/v6",
+        "schema": "bench_hotpath/v7",
         "config": {
             "name": BENCH_CONFIG.name,
             "n_layers": BENCH_CONFIG.n_layers,
@@ -817,6 +954,7 @@ def run(sizes: list[int], window: int) -> dict:
         "decode_e2e": {},
         "decode_batched": {},
         "restore": {},
+        "restore_sharded": {},
         "durability": {},
         "block_sharing": {},
     }
@@ -825,12 +963,14 @@ def run(sizes: list[int], window: int) -> dict:
         e2e = bench_decode_e2e(model, n, window)
         batched = bench_decode_batched(model, n, window)
         restore = bench_restore(model, n)
+        sharded = bench_restore_sharded(model, n)
         durability = bench_durability(model, n)
         sharing = bench_block_sharing(model, n)
         report["decode_with_capture"][str(n)] = state
         report["decode_e2e"][str(n)] = e2e
         report["decode_batched"][str(n)] = batched
         report["restore"][str(n)] = restore
+        report["restore_sharded"][str(n)] = sharded
         report["durability"][str(n)] = durability
         report["block_sharing"][str(n)] = sharing
         stages = restore["stages"]
@@ -860,6 +1000,17 @@ def run(sizes: list[int], window: int) -> dict:
             f"({recovery['journal_bytes']} journal B, "
             f"bit_exact={recovery['bit_exact']})"
         )
+        gate_shape = sharded["per_shape"][SHARDED_GATE_SHAPE]
+        print(
+            "         sharded restore "
+            + "  ".join(
+                f"{name} {entry['speedup_vs_single_shard']:4.2f}x "
+                f"(gap {entry['gap_ratio']:4.2f}x)"
+                for name, entry in sharded["per_shape"].items()
+            )
+            + f"  vs single-shard {sharded['single_shard_threaded_s'] * 1e3:6.2f} ms "
+            f"(bit_exact={sharded['bit_exact']})"
+        )
         print(
             f"         block-sharing dedup {sharing['dedup_ratio']:.2f}x "
             f"({sharing['physical_blocks']}/{sharing['logical_blocks']} blocks, "
@@ -883,6 +1034,10 @@ def run(sizes: list[int], window: int) -> dict:
         entry["equivalent"]
         for size_report in report["decode_batched"].values()
         for entry in size_report["per_batch"].values()
+    )
+    sharded_head = report["restore_sharded"][largest]["per_shape"][SHARDED_GATE_SHAPE]
+    sharded_all_exact = all(
+        entry["bit_exact"] for entry in report["restore_sharded"].values()
     )
     durable_head = report["durability"][largest]
     durable_all_exact = all(
@@ -929,6 +1084,29 @@ def run(sizes: list[int], window: int) -> dict:
                 bool(
                     threaded_head["speedup"] > THREADED_SPEEDUP_FLOOR
                     and threaded_head["gap_ratio"] <= THREADED_GAP_CEILING
+                )
+                if target_applies
+                else None
+            ),
+        },
+        # Sharded-restore acceptance (defined at 4k like the other
+        # timing gates): the 2x2 grid must beat the single-shard
+        # threaded restore and keep measured wall clock within the gap
+        # ceiling of the modelled sharded makespan; every shard shape at
+        # every size must restore bit-exact (never relaxed).  The
+        # speedup/gap thresholds are the CHECK_RELAX_TIMING-aware ones.
+        "sharded_restore": {
+            "at_tokens": max(sizes),
+            "shape": SHARDED_GATE_SHAPE,
+            "speedup_vs_single_shard": sharded_head["speedup_vs_single_shard"],
+            "speedup_floor": SHARDED_SPEEDUP_FLOOR if target_applies else None,
+            "gap_ratio": sharded_head["gap_ratio"],
+            "gap_target": SHARDED_GAP_CEILING if target_applies else None,
+            "all_bit_exact": bool(sharded_all_exact),
+            "met": (
+                bool(
+                    sharded_head["speedup_vs_single_shard"] > SHARDED_SPEEDUP_FLOOR
+                    and sharded_head["gap_ratio"] <= SHARDED_GAP_CEILING
                 )
                 if target_applies
                 else None
@@ -1003,7 +1181,10 @@ def run(sizes: list[int], window: int) -> dict:
         f"{largest} tokens ({gate}); threaded restore "
         f"{threaded_head['speedup']:.2f}x vs single, "
         f"{threaded_head['gap_ratio']:.2f}x of pipelined model "
-        f"(met={report['headline']['threaded_restore']['met']}); "
+        f"(met={report['headline']['threaded_restore']['met']}); sharded restore "
+        f"{sharded_head['speedup_vs_single_shard']:.2f}x at {SHARDED_GATE_SHAPE}, "
+        f"gap {sharded_head['gap_ratio']:.2f}x "
+        f"(met={report['headline']['sharded_restore']['met']}); "
         f"batched decode {batched_head['speedup']:.2f}x at "
         f"B{batched_head['batch']} (met={report['headline']['batched_decode']['met']}, "
         f"equivalent={batched_equivalent}); durable restore "
@@ -1052,6 +1233,24 @@ def main() -> int:
             f"single-threaded path by > {THREADED_SPEEDUP_FLOOR}x and stay "
             f"within {THREADED_GAP_CEILING}x of the pipelined makespan at "
             "4k tokens)",
+            file=sys.stderr,
+        )
+        return 1
+    sharded = report["headline"]["sharded_restore"]
+    if not sharded["all_bit_exact"]:
+        print(
+            "ERROR: a sharded restore diverged from the single-shard path "
+            "(shard merges must never change a restored byte)",
+            file=sys.stderr,
+        )
+        return 1
+    if sharded["met"] is False:
+        print(
+            "ERROR: sharded restore missed its gate (the "
+            f"{SHARDED_GATE_SHAPE} grid must beat the single-shard "
+            f"threaded restore by > {SHARDED_SPEEDUP_FLOOR}x and stay "
+            f"within {SHARDED_GAP_CEILING}x of the modelled sharded "
+            "makespan at 4k tokens)",
             file=sys.stderr,
         )
         return 1

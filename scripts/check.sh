@@ -34,6 +34,10 @@
 #     serving-scale context; 4k is recorded but attention-bandwidth-
 #     bound — with batched caches/logits inside the pinned
 #     BATCHED_DECODE_ATOL at every measured size),
+#   - the PR-9 sharded-restore gate (the 2x2 pipeline-x-tensor shard
+#     grid beats the single-shard threaded restore at 4k tokens with
+#     wall clock within the gap ceiling of the modelled sharded
+#     makespan, every shard shape restoring bit-exact),
 #   - the PR-6 durable-restore gate (all-primaries-dead failover reads
 #     bit-exact and <= 2x the healthy restore's wall clock; journaled
 #     save -> full in-memory drop -> recover -> bit-exact restore),
@@ -44,8 +48,8 @@
 # Hot-path regressions fail here before the committed numbers drift.
 #
 # CHECK_RELAX_TIMING=1 (set by CI) widens the timing thresholds
-# (threaded speedup/gap, batched speedup) for noisy shared runners;
-# exactness checks and the 10x floor are never relaxed.  See
+# (threaded and sharded speedup/gap, batched speedup) for noisy shared
+# runners; exactness checks and the 10x floor are never relaxed.  See
 # benchmarks/README.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,7 +102,7 @@ echo "== crash-recovery smoke (journal truncation property, crash-window recover
 python -m pytest -q tests/storage/test_journal.py tests/storage/test_recovery.py \
     tests/integration/test_kill_and_resume.py
 
-echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + 10x floor at 4k + pipeline gap at 4k + batched decode at 1k + degraded/recovered restore + block-sharing dedup/bit-exactness) =="
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + sharded + 10x floor at 4k + pipeline/sharded gaps at 4k + batched decode at 1k + degraded/recovered restore + block-sharing dedup/bit-exactness) =="
 python benchmarks/bench_hotpath.py --smoke
 
 # The committed numbers must carry the block-sharing section the smoke
@@ -117,6 +121,33 @@ if not (sharing["dedup_ratio"] > 1.0 and sharing["all_bit_exact"] and sharing["m
 print(
     f"committed block_sharing: dedup {sharing['dedup_ratio']:.2f}x, "
     f"{sharing['state_bytes_saved'] / 1e6:.1f} MB saved, bit-exact"
+)
+EOF
+
+# Same staleness protection for the PR-9 sharded-restore section: the
+# committed JSON must show the 2x2 grid beating the single-shard
+# threaded restore with its gap within the acceptance band, produced
+# WITHOUT CHECK_RELAX_TIMING (the strict thresholds are re-asserted
+# here, not read from the file).
+echo "== committed BENCH_hotpath.json sharded-restore gate (2x2 speedup > 1, gap <= 1.5, bit-exact) =="
+python - <<'EOF'
+import json, sys
+report = json.load(open("BENCH_hotpath.json"))
+sharded = report["headline"].get("sharded_restore")
+if sharded is None:
+    sys.exit("BENCH_hotpath.json predates the sharded_restore section; regenerate it")
+if report.get("relaxed_timing"):
+    sys.exit("committed BENCH_hotpath.json was produced with CHECK_RELAX_TIMING=1")
+if not (
+    sharded["all_bit_exact"]
+    and sharded["speedup_vs_single_shard"] > 1.0
+    and sharded["gap_ratio"] <= 1.5
+):
+    sys.exit(f"committed sharded_restore gate not met: {sharded}")
+print(
+    f"committed sharded_restore: {sharded['shape']} grid "
+    f"{sharded['speedup_vs_single_shard']:.2f}x vs single-shard, "
+    f"gap {sharded['gap_ratio']:.2f}x, bit-exact"
 )
 EOF
 

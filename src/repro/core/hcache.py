@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.gqa import partition_kv_heads
 from repro.core.partition import PartitionScheme
 from repro.core.profiler import profile_platform
 from repro.core.restoration import RestorationTiming, scheme_timing
@@ -24,8 +25,13 @@ from repro.core.scheduler import BubbleFreeScheduler, ScheduleDecision
 from repro.errors import ConfigError, RecoveryError, RestorationError, StateError
 from repro.models.kv_cache import KVCache
 from repro.models.transformer import ProjectionStats, Transformer
-from repro.simulator.hardware import Platform
-from repro.simulator.pipeline import LayerMethod
+from repro.simulator.hardware import InterconnectSpec, Platform
+from repro.simulator.multi_gpu import allgather_time
+from repro.simulator.pipeline import (
+    LayerMethod,
+    ShardedStageTimeline,
+    sharded_restoration_makespan,
+)
 from repro.storage.manager import StorageManager
 from repro.storage.streaming import pipelined_makespan
 
@@ -33,7 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     # BlockStateStore is typing-only to break the import cycle
     # core.hcache -> repro.state -> repro.cache -> repro.baselines ->
     # repro.core; the store arrives fully constructed by the caller.
+    # The runtime executors are typing-only to keep the core layer free
+    # of a hard dependency on repro.runtime (it is imported lazily where
+    # a sharded restore actually needs it).
     from repro.runtime.executor import RestoreExecutor
+    from repro.runtime.sharded import ShardedRestoreExecutor
     from repro.state import BlockStateStore
 
 
@@ -82,6 +92,21 @@ class RestoreBreakdown:
     shared_tokens: int = 0
     #: Measured wall time projecting/installing pool-resident blocks.
     pool_s: float = 0.0
+    #: Measured submit-side executor overhead: staging-slot acquisition
+    #: plus pool handoff per granule (threaded/sharded executors only).
+    #: Together with the exposed ``read_s`` stall it itemizes the gap
+    #: between wall clock and the modelled makespan.
+    dispatch_s: float = 0.0
+    #: Hybrid makespan of the sharded timeline: modelled device reads at
+    #: the shards' aggregated bandwidth plus per-granule gathers on
+    #: concurrent per-stage IO streams, merged against this run's
+    #: measured compute on the one calling-thread merge stream (see
+    #: :func:`repro.simulator.pipeline.sharded_restoration_makespan`).
+    #: Zero for unsharded restores.
+    modelled_sharded_s: float = 0.0
+    #: ``(pipeline, tensor)`` shard shape of the restore; ``None`` when
+    #: unsharded.
+    shard_shape: "tuple[int, int] | None" = None
 
 
 @dataclass(frozen=True)
@@ -382,6 +407,7 @@ class HCacheEngine:
         reserve_tokens: int = 0,
         stats: RestoreBreakdown | None = None,
         executor: "RestoreExecutor | None" = None,
+        shards: "tuple[int, int] | int | None" = None,
     ) -> KVCache:
         """Rebuild the context's full KV cache, chunk-streamed (§4.1).
 
@@ -414,13 +440,72 @@ class HCacheEngine:
         originals to float rounding (the same GEMM-blocking caveat as
         restoring any decode-produced state).
 
+        ``shards`` partitions this one restoration across a
+        ``(pipeline, tensor)`` grid of simulated GPUs (an int means
+        ``(int, 1)``): contiguous layer stages drain concurrently, and
+        with ``tensor > 1`` each granule's merge is split into
+        GQA-group-aligned KV-head ranges
+        (:meth:`Transformer.project_kv_chunk_sharded` /
+        :meth:`KVCache.install_packed_head_rows`) — the restored bytes
+        stay bit-identical to the single-shard path for every shard
+        shape.  The shape resolves as follows: an explicit ``shards``
+        wins (reusing ``executor``'s pool when one is given, else a
+        transient pool of ``pipeline * tensor`` workers); with
+        ``shards=None`` a
+        :class:`~repro.runtime.sharded.ShardedRestoreExecutor` passed as
+        ``executor`` shards by its own :attr:`shard_shape`; otherwise the
+        restore is unsharded.
+
         ``reserve_tokens`` lets the serving engine size the cache for the
         upcoming round up front, so the restored history never has to be
         recopied by a post-restore capacity growth.  ``stats`` (optional)
         collects the per-stage :class:`RestoreBreakdown`; in threaded
         runs its ``read_s`` is the *exposed* IO stall (reads the pipeline
-        failed to hide) rather than total read time.
+        failed to hide) rather than total read time, and sharded runs
+        additionally fill ``shard_shape`` and ``modelled_sharded_s``.
         """
+        shard_exec, transient = self._resolve_shards(executor, shards)
+        try:
+            return self._restore(context_id, reserve_tokens, stats, executor, shard_exec)
+        finally:
+            if transient:
+                assert shard_exec is not None
+                shard_exec.close()
+
+    def _resolve_shards(
+        self,
+        executor: "RestoreExecutor | None",
+        shards: "tuple[int, int] | int | None",
+    ) -> "tuple[ShardedRestoreExecutor | None, bool]":
+        """Resolve ``restore``'s (executor, shards) pair to a shard driver.
+
+        Returns ``(shard_exec, transient)``; ``transient`` means this
+        call created the executor and must close it (a no-op for pools it
+        merely borrowed — ``close`` only shuts down owned pools).
+        """
+        from repro.runtime.sharded import ShardedRestoreExecutor
+
+        if shards is None:
+            if isinstance(executor, ShardedRestoreExecutor):
+                return executor, False
+            return None, False
+        if isinstance(shards, int):
+            shards = (shards, 1)
+        shape = (int(shards[0]), int(shards[1]))
+        if isinstance(executor, ShardedRestoreExecutor) and executor.shard_shape == shape:
+            return executor, False
+        if executor is not None:
+            return ShardedRestoreExecutor(shape, pool=executor.pool), True
+        return ShardedRestoreExecutor(shape), True
+
+    def _restore(
+        self,
+        context_id: str,
+        reserve_tokens: int,
+        stats: RestoreBreakdown | None,
+        executor: "RestoreExecutor | None",
+        shard_exec: "ShardedRestoreExecutor | None",
+    ) -> KVCache:
         n_tokens = self.saved_tokens(context_id)
         if n_tokens == 0:
             raise RestorationError(f"context {context_id!r} has no saved state")
@@ -431,6 +516,22 @@ class HCacheEngine:
         timed = stats is not None
         if timed:
             stats.n_tokens = n_tokens
+        sharded = shard_exec is not None
+        tensor_shards = shard_exec.tensor_shards if shard_exec is not None else 1
+        # Resolve the head partition up front: an illegal tensor split
+        # (more shards than KV heads would cut a GQA group) must raise
+        # before any state is touched.
+        head_ranges = (
+            partition_kv_heads(config.n_kv_heads, tensor_shards)
+            if tensor_shards > 1
+            else None
+        )
+        if timed and shard_exec is not None:
+            stats.shard_shape = shard_exec.shard_shape
+        interconnect = (
+            self.platform.interconnect if self.platform is not None else InterconnectSpec()
+        )
+        sharded_makespan_s = 0.0
         if self.scheme.n_recompute:
             tokens = np.array(self.storage.token_log(context_id)[:n_tokens])
             t0 = time.perf_counter() if timed else 0.0
@@ -452,7 +553,9 @@ class HCacheEngine:
                 n_tokens,
                 self.stream_granule_chunks * self.storage.tokens_per_chunk,
             )
-            workspace = self.transformer.restore_workspace(positions, granule_tokens)
+            workspace = self.transformer.restore_workspace(
+                positions, granule_tokens, sharded=head_ranges is not None
+            )
             views = {
                 layer: cache.install_view(layer, n_tokens) for layer in hidden_layers
             }
@@ -489,25 +592,49 @@ class HCacheEngine:
 
             def project_hidden(chunk) -> None:
                 k_view, v_view = views[chunk.layer]
-                self.transformer.project_kv_chunk(
-                    chunk.layer,
-                    chunk.data,
-                    chunk.start,
-                    k_view[chunk.start : chunk.stop],
-                    v_view[chunk.start : chunk.stop],
-                    workspace,
-                    proj_stats,
-                )
+                if head_ranges is not None:
+                    # Tensor-sharded merge: full-width norm+GEMMs (the
+                    # GEMM split is not bit-stable), head-sliced RoPE and
+                    # installs — one call per granule covering every
+                    # rank's disjoint range.
+                    self.transformer.project_kv_chunk_sharded(
+                        chunk.layer,
+                        chunk.data,
+                        chunk.start,
+                        k_view[chunk.start : chunk.stop],
+                        v_view[chunk.start : chunk.stop],
+                        workspace,
+                        head_ranges,
+                        proj_stats,
+                    )
+                else:
+                    self.transformer.project_kv_chunk(
+                        chunk.layer,
+                        chunk.data,
+                        chunk.start,
+                        k_view[chunk.start : chunk.stop],
+                        v_view[chunk.start : chunk.stop],
+                        workspace,
+                        proj_stats,
+                    )
                 if suffix_rows is not None:
                     suffix_rows[(chunk.layer, "hidden")][
                         chunk.start - shared : chunk.stop - shared
                     ] = chunk.data
 
             if shared < n_tokens:
-                self._drain_stream(
-                    context_id, hidden_layers, "hidden", project_hidden,
-                    stats, io_times, compute_times, executor, shared,
-                )
+                if shard_exec is not None:
+                    sharded_makespan_s += self._drain_sharded(
+                        shard_exec, context_id, hidden_layers, "hidden",
+                        project_hidden, stats, io_times, compute_times,
+                        shared, interconnect,
+                        gather_bytes_per_row=4 * config.hidden_size,
+                    )
+                else:
+                    self._drain_stream(
+                        context_id, hidden_layers, "hidden", project_hidden,
+                        stats, io_times, compute_times, executor, shared,
+                    )
         if kv_layers:
             for layer in kv_layers:
                 cache.install_view(layer, n_tokens)
@@ -527,7 +654,17 @@ class HCacheEngine:
 
             def install_kv(chunk) -> None:
                 t0 = time.perf_counter() if timed else 0.0
-                cache.install_packed_rows(chunk.layer, chunk.start, chunk.data)
+                if head_ranges is not None:
+                    # Each tensor rank installs its own head range of the
+                    # packed granule; the ranges tile [0, n_kv_heads), so
+                    # together they land the same bytes as the full-width
+                    # install.
+                    for head_start, head_stop in head_ranges:
+                        cache.install_packed_head_rows(
+                            chunk.layer, chunk.start, chunk.data, head_start, head_stop
+                        )
+                else:
+                    cache.install_packed_rows(chunk.layer, chunk.start, chunk.data)
                 if timed:
                     stats.install_s += time.perf_counter() - t0
                 if suffix_rows is not None:
@@ -536,10 +673,17 @@ class HCacheEngine:
                     ] = chunk.data
 
             if shared < n_tokens:
-                self._drain_stream(
-                    context_id, kv_layers, "kv", install_kv,
-                    stats, io_times, compute_times, executor, shared,
-                )
+                if shard_exec is not None:
+                    sharded_makespan_s += self._drain_sharded(
+                        shard_exec, context_id, kv_layers, "kv",
+                        install_kv, stats, io_times, compute_times,
+                        shared, interconnect, gather_bytes_per_row=0,
+                    )
+                else:
+                    self._drain_stream(
+                        context_id, kv_layers, "kv", install_kv,
+                        stats, io_times, compute_times, executor, shared,
+                    )
         if suffix_rows is not None:
             # Close the admission gap: the suffix rows just streamed from
             # storage are republished into the pool, so the session is
@@ -567,6 +711,12 @@ class HCacheEngine:
             pipeline_io = [0.0] + io_times
             pipeline_compute = [stats.recompute_s + stats.pool_s] + compute_times
             stats.modelled_pipelined_s = pipelined_makespan(pipeline_io, pipeline_compute)
+            if sharded:
+                # The sequential hidden/kv drains each contribute their
+                # sharded makespan; the recompute/pool prefix precedes both.
+                stats.modelled_sharded_s = (
+                    stats.recompute_s + stats.pool_s + sharded_makespan_s
+                )
         if len(cache) != n_tokens:
             raise RestorationError("restored cache length mismatch")
         return cache
@@ -654,6 +804,64 @@ class HCacheEngine:
             out[filled : filled + take] = data[offset : offset + take]
             filled += take
             position += take
+
+    def _drain_sharded(
+        self,
+        shard_exec: "ShardedRestoreExecutor",
+        context_id: str,
+        layers: list[int],
+        kind: str,
+        consume,
+        stats: RestoreBreakdown | None,
+        io_times: list[float],
+        compute_times: list[float],
+        start_tokens: int,
+        interconnect: InterconnectSpec,
+        gather_bytes_per_row: int,
+    ) -> float:
+        """Sharded counterpart of :meth:`_drain_stream`.
+
+        Partitions ``layers`` into the executor's pipeline stages and
+        drains them concurrently; returns this drain's hybrid sharded
+        makespan (0.0 when untimed): per stage, the §4.1 two-stream
+        recurrence over its measured granule trace with reads priced at
+        the tensor ranks' aggregated bandwidth plus a per-granule
+        all-gather of ``gather_bytes_per_row`` bytes per row (hidden
+        granules must be reassembled across ranks before projection; KV
+        installs pass 0 — nothing to gather): stage IO streams advance
+        concurrently, while every granule merges through the single
+        calling-thread compute stream.
+        """
+        from repro.runtime.sharded import StageTrace, partition_layers
+
+        stage_layers = partition_layers(layers, shard_exec.pipeline_shards)
+        timed = stats is not None
+        traces: list[StageTrace] | None = [] if timed else None
+        shard_exec.drain_sharded(
+            self.storage, context_id, stage_layers, kind,
+            self.stream_granule_chunks, consume,
+            stats, io_times, compute_times, start_tokens, traces,
+        )
+        if not traces:
+            return 0.0
+        tensor_shards = shard_exec.tensor_shards
+        timelines = [
+            ShardedStageTimeline(
+                stage=trace.stage,
+                io_seconds=tuple(trace.io_seconds),
+                compute_seconds=tuple(trace.compute_seconds),
+                gather_seconds=tuple(
+                    allgather_time(
+                        rows * gather_bytes_per_row, tensor_shards, interconnect
+                    )
+                    if gather_bytes_per_row and tensor_shards > 1
+                    else 0.0
+                    for rows in trace.rows
+                ),
+            )
+            for trace in traces
+        ]
+        return sharded_restoration_makespan(timelines, tensor_shards)
 
     def _drain_stream(
         self,

@@ -58,8 +58,12 @@ class NumericServingEngine:
         every restoration this engine performs then overlaps its storage
         reads with projection compute on the executor's IO worker pool,
         and :meth:`restore_sessions` brings several evicted sessions back
-        concurrently through that one pool.  Restored values are
-        bit-identical either way.
+        concurrently through that one pool.  A
+        :class:`~repro.runtime.sharded.ShardedRestoreExecutor` goes
+        further and partitions each restoration across its
+        ``(pipeline, tensor)`` shard grid — ``chat_round``'s implicit
+        restores included.  Restored values are bit-identical in every
+        case.
         """
         if hcache.transformer is not transformer:
             raise ConfigError("HCache engine must wrap the same transformer")
@@ -345,6 +349,7 @@ class NumericServingEngine:
         self,
         session_ids: Sequence[str],
         reserve_tokens: int | Mapping[str, int] = 0,
+        shards: "tuple[int, int] | int | None" = None,
     ) -> None:
         """Bring several evicted sessions back onto the GPU at once.
 
@@ -363,6 +368,13 @@ class NumericServingEngine:
         for its own restores.  Pass a per-session mapping when the
         sessions' expected lengths differ (missing ids reserve 0): a
         single int would size every cache to the largest session.
+
+        ``shards`` additionally partitions each restoration across a
+        ``(pipeline, tensor)`` grid of simulated GPUs (see
+        :meth:`HCacheEngine.restore`); a
+        :class:`~repro.runtime.sharded.ShardedRestoreExecutor` configured
+        as ``self.executor`` shards by its own shape even when this is
+        ``None`` — including ``chat_round``'s own restores.
         """
         states = []
         for session_id in session_ids:
@@ -378,14 +390,14 @@ class NumericServingEngine:
             reserve = {sid: int(reserve_tokens.get(sid, 0)) for sid in session_ids}
         if self.executor is not None:
             caches = self.executor.restore_contexts(
-                self.hcache, [s.session_id for s in states], reserve
+                self.hcache, [s.session_id for s in states], reserve, shards=shards
             )
             for state in states:
                 state.kv_cache = caches[state.session_id]
         else:
             for state in states:
                 state.kv_cache = self.hcache.restore(
-                    state.session_id, reserve[state.session_id]
+                    state.session_id, reserve[state.session_id], shards=shards
                 )
 
     def evict(self, session_id: str) -> None:

@@ -27,19 +27,24 @@ HOT_PATHS: dict[str, frozenset[str]] = {
             "batched_decode_attention",
         }
     ),
-    # Batched decode iteration + the fused restore projection (PR 2/PR 4).
+    # Batched decode iteration + the fused restore projections (PR 2/PR 4;
+    # the sharded variant is PR 9's per-granule merge path).
     "repro/models/transformer.py": frozenset(
         {
             "Transformer.decode_batch",
             "Transformer.project_kv_chunk",
+            "Transformer.project_kv_chunk_sharded",
         }
     ),
     # Per-step cache writes: O(1) amortized appends, zero-copy views.
+    # install_packed_head_rows is the tensor-shard merge primitive — one
+    # call per (granule, head range) on the sharded restore path.
     "repro/models/kv_cache.py": frozenset(
         {
             "KVCache.append",
             "KVCache.install_view",
             "KVCache.install_rows",
+            "KVCache.install_packed_head_rows",
             "StackedKVCacheBlock.append_token",
         }
     ),
@@ -84,6 +89,11 @@ HOT_PATHS: dict[str, frozenset[str]] = {
     ),
     # Pool-served shared-prefix gather on the restore path.
     "repro/core/hcache.py": frozenset({"HCacheEngine._gather_pool_hidden"}),
+    # Sharded restoration planning (PR 9): shard plans run once per
+    # restore but feed every granule of it; keeping them allocation-lean
+    # keeps the dispatch half of the executor-overhead budget flat.
+    "repro/core/gqa.py": frozenset({"partition_kv_heads"}),
+    "repro/runtime/sharded.py": frozenset({"partition_layers"}),
     # Storage granule loop: chunk reads land straight in staging slots.
     "repro/storage/device.py": frozenset({"StorageDevice.read_into"}),
     "repro/storage/manager.py": frozenset(

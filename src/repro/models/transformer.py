@@ -76,6 +76,10 @@ class ProjectionStats:
     norm_s: float = 0.0
     gemm_s: float = 0.0
     rope_s: float = 0.0
+    #: Head-range slice copies of the sharded projection (the in-process
+    #: stand-in for the tensor dimension's all-gather); zero on the
+    #: single-shard path.
+    merge_s: float = 0.0
     chunks: int = 0
 
     @property
@@ -85,7 +89,7 @@ class ProjectionStats:
 
     @property
     def total_s(self) -> float:
-        return self.norm_s + self.gemm_s + self.rope_s
+        return self.norm_s + self.gemm_s + self.rope_s + self.merge_s
 
 
 class RestoreWorkspace:
@@ -98,19 +102,32 @@ class RestoreWorkspace:
     cos/sin tables cover the full restored position range and are sliced
     per chunk — the trigonometry is computed once, not per layer or per
     chunk.
+
+    ``sharded=True`` adds the tensor-shard scratch: full-width K *and* V
+    GEMM destinations (:attr:`k_tmp`/:attr:`v_tmp`), because the sharded
+    projection computes each GEMM once at full width and then merges
+    per-head-range slices — a head-sliced GEMM would change the BLAS
+    blocking and with it the last-ulp bits (see
+    :meth:`Transformer.project_kv_chunk_sharded`).
     """
 
     def __init__(
-        self, config: ModelConfig, positions: np.ndarray, max_chunk_tokens: int
+        self,
+        config: ModelConfig,
+        positions: np.ndarray,
+        max_chunk_tokens: int,
+        sharded: bool = False,
     ) -> None:
         if max_chunk_tokens <= 0:
             raise ConfigError("workspace needs a positive chunk capacity")
         self.config = config
         self.max_chunk_tokens = max_chunk_tokens
+        self.sharded = sharded
         self.normed = np.empty((max_chunk_tokens, config.hidden_size), dtype=np.float32)
         self.sq = (
             np.empty_like(self.normed) if config.norm == "rmsnorm" else None
         )
+        row_shape = (max_chunk_tokens, config.n_kv_heads, config.head_dim)
         if config.rope:
             positions = np.asarray(positions)
             if positions.ndim != 1:
@@ -118,14 +135,13 @@ class RestoreWorkspace:
             self.rot_c, self.rot_s = rope_rotation_tables(
                 positions, config.head_dim, config.n_kv_heads
             )
-            self.k_tmp = np.empty(
-                (max_chunk_tokens, config.n_kv_heads, config.head_dim), dtype=np.float32
-            )
+            self.k_tmp = np.empty(row_shape, dtype=np.float32)
             self.rot_swap = np.empty_like(self.k_tmp)
         else:
             self.rot_c = self.rot_s = None
-            self.k_tmp = None
+            self.k_tmp = np.empty(row_shape, dtype=np.float32) if sharded else None
             self.rot_swap = None
+        self.v_tmp = np.empty(row_shape, dtype=np.float32) if sharded else None
 
 
 @dataclass
@@ -336,16 +352,18 @@ class Transformer:
             self.project_kv_chunk(layer, blocks[i], 0, k_dest, v_dest, workspace)
 
     def restore_workspace(
-        self, positions: np.ndarray, max_chunk_tokens: int
+        self, positions: np.ndarray, max_chunk_tokens: int, sharded: bool = False
     ) -> RestoreWorkspace:
         """Build the per-restore scratch for :meth:`project_kv_chunk`.
 
         ``positions`` are the absolute positions of every token the
         restore will cover (the RoPE tables are precomputed for all of
         them once); ``max_chunk_tokens`` bounds the largest chunk that
-        will be projected through the workspace.
+        will be projected through the workspace.  ``sharded=True`` adds
+        the full-width GEMM scratch :meth:`project_kv_chunk_sharded`
+        merges head ranges from.
         """
-        return RestoreWorkspace(self.config, positions, max_chunk_tokens)
+        return RestoreWorkspace(self.config, positions, max_chunk_tokens, sharded)
 
     def project_kv_chunk(
         self,
@@ -430,6 +448,123 @@ class Transformer:
             if timed:
                 stats.gemm_s += time.perf_counter() - t0
         if timed:
+            stats.chunks += 1
+
+    def project_kv_chunk_sharded(
+        self,
+        layer: int,
+        hidden_chunk: np.ndarray,
+        row_start: int,
+        k_dest: np.ndarray,
+        v_dest: np.ndarray,
+        workspace: RestoreWorkspace,
+        head_ranges: Sequence[tuple[int, int]],
+        stats: ProjectionStats | None = None,
+    ) -> None:
+        """Head-sharded variant of :meth:`project_kv_chunk`.
+
+        Projects one chunk and merges it into ``k_dest``/``v_dest`` as a
+        sequence of disjoint KV-head ranges — the tensor dimension of a
+        sharded restore, where each simulated rank owns one range of
+        ``head_ranges`` (see :func:`repro.core.gqa.partition_kv_heads`).
+
+        **Merge discipline, for bit-exactness:** the norm and both GEMMs
+        run once at *full width* into workspace scratch — a head-sliced
+        GEMM (``normed @ w[:, h0:h1]``) changes the BLAS blocking and
+        with it the last-ulp bits, so partitioning must never reach the
+        GEMM.  Only the strictly elementwise stages are head-sliced: the
+        RoPE rotation (per-element over ``(token, head, dim)``, so a
+        strided head-slice computes identical bits) and the V/non-RoPE-K
+        slice copies.  The union of the ranges' writes is therefore
+        bit-identical to :meth:`project_kv_chunk` writing the full
+        destinations, for every partition of the heads.
+
+        ``head_ranges`` must tile ``[0, n_kv_heads)`` contiguously in
+        order — a gap or overlap would silently misproject, so it is
+        rejected.  The workspace must be built with ``sharded=True``.
+        """
+        config = self.config
+        norm_w, wk_all, wv_all = self._projection_stack()
+        hidden_chunk = np.asarray(hidden_chunk, dtype=np.float32)
+        if hidden_chunk.ndim != 2 or hidden_chunk.shape[1] != config.hidden_size:
+            raise ConfigError(
+                f"hidden chunk must be (m, {config.hidden_size}), got {hidden_chunk.shape}"
+            )
+        m = hidden_chunk.shape[0]
+        if m > workspace.max_chunk_tokens:
+            raise ConfigError(
+                f"chunk of {m} tokens exceeds workspace capacity "
+                f"{workspace.max_chunk_tokens}"
+            )
+        if workspace.v_tmp is None:
+            raise ConfigError(
+                "sharded projection needs a workspace built with sharded=True"
+            )
+        row_shape = (m, config.n_kv_heads, config.head_dim)
+        if k_dest.shape != row_shape or v_dest.shape != row_shape:
+            raise ConfigError(
+                f"destinations must be {row_shape}, got {k_dest.shape} / {v_dest.shape}"
+            )
+        expected = 0
+        for h0, h1 in head_ranges:
+            if h0 != expected or h1 <= h0:
+                raise ConfigError(
+                    f"head ranges {list(head_ranges)} must tile "
+                    f"[0, {config.n_kv_heads}) contiguously in order"
+                )
+            expected = h1
+        if expected != config.n_kv_heads:
+            raise ConfigError(
+                f"head ranges {list(head_ranges)} must cover all "
+                f"{config.n_kv_heads} KV heads"
+            )
+        kv_size = config.kv_size
+        timed = stats is not None
+        t0 = time.perf_counter() if timed else 0.0
+        normed = workspace.normed[:m]
+        if config.norm == "rmsnorm":
+            rmsnorm_into(hidden_chunk, norm_w[layer, 0], normed, workspace.sq[:m])
+        else:
+            layernorm_into(hidden_chunk, norm_w[layer, 0], normed)
+        if timed:
+            t1 = time.perf_counter()
+            stats.norm_s += t1 - t0
+            t0 = t1
+        k_tmp = workspace.k_tmp[:m]
+        v_tmp = workspace.v_tmp[:m]
+        np.matmul(normed, wk_all[layer], out=k_tmp.reshape(m, kv_size))
+        np.matmul(normed, wv_all[layer], out=v_tmp.reshape(m, kv_size))
+        if timed:
+            t1 = time.perf_counter()
+            stats.gemm_s += t1 - t0
+            t0 = t1
+        if config.rope:
+            if row_start < 0 or row_start + m > workspace.rot_c.shape[0]:
+                raise ConfigError(
+                    f"chunk rows [{row_start}, {row_start + m}) outside the "
+                    f"workspace's {workspace.rot_c.shape[0]} precomputed positions"
+                )
+            rows = slice(row_start, row_start + m)
+            for h0, h1 in head_ranges:
+                heads = slice(h0, h1)
+                rope_rotate_fullwidth_into(
+                    k_tmp[:, heads],
+                    workspace.rot_c[rows, heads],
+                    workspace.rot_s[rows, heads],
+                    out=k_dest[:, heads],
+                    swap=workspace.rot_swap[:m, heads],
+                )
+            if timed:
+                t1 = time.perf_counter()
+                stats.rope_s += t1 - t0
+                t0 = t1
+        else:
+            for h0, h1 in head_ranges:
+                k_dest[:, h0:h1] = k_tmp[:, h0:h1]
+        for h0, h1 in head_ranges:
+            v_dest[:, h0:h1] = v_tmp[:, h0:h1]
+        if timed:
+            stats.merge_s += time.perf_counter() - t0
             stats.chunks += 1
 
     def layer_forward(

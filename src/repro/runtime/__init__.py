@@ -12,6 +12,11 @@ IO/compute overlap is real wall clock:
   projects, in the exact single-threaded order, so every pool size stays
   bit-exact with the naive reference.  Also restores multiple contexts
   concurrently through one shared pool for the serving layer.
+- :class:`ShardedRestoreExecutor` — partitions *one* restoration across
+  ``pipeline x tensor`` simulated GPUs: contiguous layer stages drain
+  concurrently (:func:`partition_layers`), KV-head ranges merge through
+  disjoint slices, and the result stays bit-exact with the single-shard
+  path for every shard shape.
 
 The single-threaded path remains the default everywhere; pass an executor
 to opt in.  See ``docs/ARCHITECTURE.md`` for the pipeline timeline.
@@ -19,8 +24,12 @@ to opt in.  See ``docs/ARCHITECTURE.md`` for the pipeline timeline.
 
 from repro.runtime.executor import RestoreExecutor
 from repro.runtime.io_pool import IOWorkerPool
+from repro.runtime.sharded import ShardedRestoreExecutor, StageTrace, partition_layers
 
 __all__ = [
     "IOWorkerPool",
     "RestoreExecutor",
+    "ShardedRestoreExecutor",
+    "StageTrace",
+    "partition_layers",
 ]

@@ -50,16 +50,22 @@ class RestoreExecutor:
             owned pool of that size.  ``close`` only shuts down owned
             pools.
         inflight: Maximum granule reads outstanding (submitted but not
-            yet consumed).  Defaults to ``pool.size + 6``: beyond keeping
-            every worker busy, the extra lookahead is the elasticity
-            buffer that absorbs bursty IO completion — real NVMe latency
-            jitter, or the quantum-batched sleeps of device latency
-            emulation — without stalling the projection stream (a
-            lookahead of barely ``pool.size + 1`` measurably serializes
-            the pipeline whenever one read takes a multi-granule burst).
-            Memory cost is one staging slot per inflight granule; the
-            staging ring is sized ``inflight + 1`` deep, which makes slot
-            reuse safe (see :class:`StagingRing`).
+            yet consumed).  Defaults to ``pool.size + lookahead``; an
+            explicit value wins over ``lookahead``.  Memory cost is one
+            staging slot per inflight granule; the staging ring is sized
+            ``inflight + 1`` deep, which makes slot reuse safe (see
+            :class:`StagingRing`).
+        lookahead: Granules kept in flight *beyond* one per pool worker
+            (default 6, the knob behind the former hard-coded ``pool.size
+            + 6``).  Beyond keeping every worker busy, the lookahead is
+            the elasticity buffer that absorbs bursty IO completion —
+            real NVMe latency jitter, or the quantum-batched sleeps of
+            device latency emulation — without stalling the projection
+            stream: with ``lookahead=0`` (inflight equal to the pool
+            size) there is no runway of completed-but-unconsumed
+            granules, so every multi-granule completion burst stalls the
+            consumer and the pipeline measurably serializes (a regression
+            test pins this).  Ignored when ``inflight`` is given.
         max_concurrent_restores: Cap on driver threads used by
             :meth:`restore_contexts`.
     """
@@ -69,20 +75,24 @@ class RestoreExecutor:
         pool: IOWorkerPool | int = 2,
         inflight: int | None = None,
         max_concurrent_restores: int = 4,
+        lookahead: int = 6,
     ) -> None:
         if isinstance(pool, int):
             pool = IOWorkerPool(pool)
             self._owns_pool = True
         else:
             self._owns_pool = False
+        if lookahead < 0:
+            raise ConfigError("lookahead must be non-negative")
         if inflight is None:
-            inflight = pool.size + 6
+            inflight = pool.size + lookahead
         if inflight < 1:
             raise ConfigError("executor needs at least one granule in flight")
         if max_concurrent_restores < 1:
             raise ConfigError("max_concurrent_restores must be at least 1")
         self.pool = pool
         self.inflight = inflight
+        self.lookahead = lookahead
         self.max_concurrent_restores = max_concurrent_restores
 
     # -- lifecycle -----------------------------------------------------
@@ -123,8 +133,12 @@ class RestoreExecutor:
         wall clock, and ``stats.read_s`` accumulates the time this thread
         actually *stalled* waiting for a read — i.e. the IO the pipeline
         failed to hide, which is 0 in the ideal §4.1 timeline.
-        ``start_tokens`` (chunk-aligned) skips every layer's shared-prefix
-        rows, exactly like the single-threaded stream.
+        ``stats.dispatch_s`` gets the submit-side overhead (staging-slot
+        acquisition + pool handoff per granule) — together with
+        ``read_s`` it itemizes the executor-overhead gap between wall
+        clock and the modelled makespan.  ``start_tokens``
+        (chunk-aligned) skips every layer's shared-prefix rows, exactly
+        like the single-threaded stream.
         """
         plan = storage.granule_plan(
             context_id, layers, kind, granule_chunks, start_tokens
@@ -150,9 +164,12 @@ class RestoreExecutor:
                 return
             spec = plan[next_index]
             next_index += 1
+            t0 = perf_counter() if timed else 0.0
             view = ring.acquire()[: spec.n_tokens]
             future = self.pool.submit(storage.read_granule_into, context_id, spec, view)
             pending.append((spec, view, future))
+            if timed:
+                stats.dispatch_s += perf_counter() - t0
 
         for _ in range(self.inflight):
             submit_next()
@@ -210,6 +227,7 @@ class RestoreExecutor:
         engine: "HCacheEngine",
         context_ids: Sequence[str],
         reserve_tokens: "int | Mapping[str, int]" = 0,
+        shards: "tuple[int, int] | int | None" = None,
     ) -> dict[str, "KVCache"]:
         """Restore several contexts concurrently through the shared pool.
 
@@ -223,6 +241,10 @@ class RestoreExecutor:
         read-only storage.  ``reserve_tokens`` is one capacity for every
         context or a per-context mapping (missing ids reserve 0 — only
         each context's own expected length is worth preallocating).
+        ``shards`` forwards a ``(pipeline, tensor)`` shard shape to every
+        ``engine.restore`` (see :meth:`HCacheEngine.restore`); a
+        :class:`~repro.runtime.sharded.ShardedRestoreExecutor` shards by
+        its own shape even when this is ``None``.
         Returns ``{context_id: KVCache}``; the first failure propagates
         after the remaining drivers finish.
         """
@@ -239,13 +261,19 @@ class RestoreExecutor:
         # lazy build is idempotent but racing it wastes work.
         engine.transformer._projection_stack()
         if len(ids) == 1:
-            return {ids[0]: engine.restore(ids[0], reserve[ids[0]], executor=self)}
+            return {
+                ids[0]: engine.restore(
+                    ids[0], reserve[ids[0]], executor=self, shards=shards
+                )
+            }
         with ThreadPoolExecutor(
             max_workers=min(self.max_concurrent_restores, len(ids)),
             thread_name_prefix="hcache-restore",
         ) as drivers:
             futures = {
-                cid: drivers.submit(engine.restore, cid, reserve[cid], None, self)
+                cid: drivers.submit(
+                    engine.restore, cid, reserve[cid], None, self, shards
+                )
                 for cid in ids
             }
             return {cid: futures[cid].result() for cid in ids}

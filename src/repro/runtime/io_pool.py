@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.errors import ConfigError, StateError
@@ -43,6 +44,7 @@ class IOWorkerPool:
         )
         self._lock = threading.Lock()
         self._submitted = 0  # guarded-by: _lock
+        self._dispatch_s = 0.0  # guarded-by: _lock
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
@@ -63,6 +65,19 @@ class IOWorkerPool:
         with self._lock:
             return self._submitted
 
+    @property
+    def dispatch_s(self) -> float:
+        """Cumulative wall time spent inside :meth:`submit`.
+
+        The pool-side half of the executor-overhead accounting: queue
+        handoff to the worker threads (lock + deque + condition wake).
+        Compare against a restore's ``stats.dispatch_s`` (which also
+        covers staging-slot acquisition) to localize submit-side
+        overhead.
+        """
+        with self._lock:
+            return self._dispatch_s
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting tasks; optionally wait for in-flight ones."""
         self._closed = True
@@ -78,6 +93,10 @@ class IOWorkerPool:
         """
         if self._closed:
             raise StateError("IO worker pool is shut down")
+        t0 = perf_counter()
         with self._lock:
             self._submitted += 1
-        return self._executor.submit(fn, *args, **kwargs)
+        future = self._executor.submit(fn, *args, **kwargs)
+        with self._lock:
+            self._dispatch_s += perf_counter() - t0
+        return future

@@ -22,6 +22,7 @@ from repro.simulator.hardware import (
     PM9A3,
     DRAMSpec,
     GPUSpec,
+    InterconnectSpec,
     Platform,
     SSDSpec,
     platform_preset,
@@ -31,10 +32,12 @@ from repro.simulator.pipeline import (
     IO_STREAM,
     LayerMethod,
     LayerPlan,
+    ShardedStageTimeline,
     TokenwiseLayerPlan,
     build_layerwise_schedule,
     build_tokenwise_schedule,
     restoration_makespan,
+    sharded_restoration_makespan,
 )
 from repro.simulator.streams import ScheduleResult, StreamSchedule, Task
 
@@ -47,6 +50,7 @@ __all__ = [
     "EventQueue",
     "GPUSpec",
     "GemmTiming",
+    "InterconnectSpec",
     "LayerCosts",
     "LayerMethod",
     "LayerPlan",
@@ -54,6 +58,7 @@ __all__ = [
     "RestorationEstimate",
     "SSDSpec",
     "ScheduleResult",
+    "ShardedStageTimeline",
     "SimClock",
     "StreamSchedule",
     "Task",
@@ -69,5 +74,6 @@ __all__ = [
     "prefill_time",
     "restoration_makespan",
     "round_up_tokens",
+    "sharded_restoration_makespan",
     "theoretical_compute_speedup",
 ]

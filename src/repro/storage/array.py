@@ -81,19 +81,36 @@ class StorageArray:
         """The shared emulator, or ``None`` when emulation is off."""
         return self._emulator
 
-    def emulate_latency(self, min_sleep_s: float = 1e-3) -> LatencyEmulator:
+    def emulate_latency(
+        self, min_sleep_s: float = 1e-3, channels: int = 1
+    ) -> LatencyEmulator:
         """Make every device sleep its modelled seconds for real.
 
-        All devices share one :class:`LatencyEmulator` — the timing model
-        charges chunk reads to a single serial IO stream, and the shared
-        debt keeps the emulated wall clock faithful to that.  Returns the
+        All devices share one :class:`LatencyEmulator` — with the default
+        ``channels=1`` the timing model charges chunk reads to a single
+        serial IO stream, and the shared debt keeps the emulated wall
+        clock faithful to that.  ``channels=N`` emulates N independent
+        ingest links instead (one per simulated GPU of a sharded
+        restore): concurrent readers sleep different channels at the same
+        time, so emulated IO wall clock floors at the aggregated-bandwidth
+        ``total / N`` the sharded makespan model prices.  Returns the
         emulator so callers can :meth:`LatencyEmulator.flush` at the end
-        of a timed region.  Idempotent while already emulating.
+        of a timed region.  Idempotent while already emulating with the
+        same channel count.
+
+        Raises:
+            ConfigError: when already emulating with a different
+                ``channels`` — call :meth:`stop_latency_emulation` first.
         """
         if self._emulator is None:
-            self._emulator = LatencyEmulator(min_sleep_s)
+            self._emulator = LatencyEmulator(min_sleep_s, channels=channels)
             for device in self.devices:
                 device.emulator = self._emulator
+        elif self._emulator.channels != channels:
+            raise ConfigError(
+                f"already emulating with {self._emulator.channels} channel(s); "
+                "stop_latency_emulation() before changing the channel count"
+            )
         return self._emulator
 
     def stop_latency_emulation(self) -> None:
