@@ -44,7 +44,12 @@
 #   - the PR-8 block-sharing gate (pool dedup ratio > 1 on the shared-
 #     system-prompt cohort, every pool-served restore bit-exact vs the
 #     private engine with zero device reads, admission restores reading
-#     strictly fewer chunks than the private path).
+#     strictly fewer chunks than the private path),
+#   - the PR-10 serving-frontend gate (batched-continuous serving via
+#     ServingFrontend.submit/step reaches >= 1x the serial chat_round
+#     loop's throughput at the serial p99 SLO, with token streams
+#     identical to the serial loop — the front end is a scheduling
+#     change, never a value change).
 # Hot-path regressions fail here before the committed numbers drift.
 #
 # CHECK_RELAX_TIMING=1 (set by CI) widens the timing thresholds
@@ -102,7 +107,7 @@ echo "== crash-recovery smoke (journal truncation property, crash-window recover
 python -m pytest -q tests/storage/test_journal.py tests/storage/test_recovery.py \
     tests/integration/test_kill_and_resume.py
 
-echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + sharded + 10x floor at 4k + pipeline/sharded gaps at 4k + batched decode at 1k + degraded/recovered restore + block-sharing dedup/bit-exactness) =="
+echo "== hot-path benchmark (smoke gate: bit-exact incl. threaded + sharded + 10x floor at 4k + pipeline/sharded gaps at 4k + batched decode at 1k + degraded/recovered restore + block-sharing dedup/bit-exactness + serving-frontend throughput/token-equality) =="
 python benchmarks/bench_hotpath.py --smoke
 
 # The committed numbers must carry the block-sharing section the smoke
@@ -148,6 +153,26 @@ print(
     f"committed sharded_restore: {sharded['shape']} grid "
     f"{sharded['speedup_vs_single_shard']:.2f}x vs single-shard, "
     f"gap {sharded['gap_ratio']:.2f}x, bit-exact"
+)
+EOF
+
+# Same staleness protection for the PR-10 serving-frontend section: the
+# committed JSON must show the async front end matching the serial loop
+# token-for-token and meeting the strict (>= 1x) throughput floor —
+# relaxed_timing is already rejected by the sharded block above.
+echo "== committed BENCH_hotpath.json serving-frontend gate (speedup >= 1, token streams equal) =="
+python - <<'EOF'
+import json, sys
+headline = json.load(open("BENCH_hotpath.json"))["headline"]
+serving = headline.get("serving_frontend")
+if serving is None:
+    sys.exit("BENCH_hotpath.json predates the serving_frontend section; regenerate it")
+if not (serving["tokens_equal"] and serving["speedup_vs_serial"] >= 1.0 and serving["met"]):
+    sys.exit(f"committed serving_frontend gate not met: {serving}")
+print(
+    f"committed serving_frontend: {serving['speedup_vs_serial']:.2f}x vs "
+    f"serial chat_round at SLO {serving['slo_ttft_s'] * 1e3:.1f} ms, "
+    f"goodput@1.0x {serving['goodput_at_unit_load']:.0f} tok/s, tokens equal"
 )
 EOF
 

@@ -405,11 +405,19 @@ class HCacheEngine:
         self,
         context_id: str,
         reserve_tokens: int = 0,
+        *,
         stats: RestoreBreakdown | None = None,
         executor: "RestoreExecutor | None" = None,
         shards: "tuple[int, int] | int | None" = None,
     ) -> KVCache:
         """Rebuild the context's full KV cache, chunk-streamed (§4.1).
+
+        Keyword contract (PR 10): ``stats``, ``executor``, and ``shards``
+        are keyword-only — the options drifted in one by one across PRs
+        3–9 and positional calls silently swapped meaning between
+        revisions.  ``restore_sessions``, ``restore_contexts`` and
+        ``restore_contexts_async`` follow the same rule for every option
+        after the id list.
 
         Layers marked HIDDEN stream from storage as granules of a few
         chunks each and go through the fused per-chunk projection

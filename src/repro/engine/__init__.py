@@ -1,14 +1,25 @@
 """LLM serving substrate.
 
-Two engines share the request/batching machinery:
+Three layers share the request/batching machinery:
 
 - :class:`ServingSimulator` — discrete-event timing simulation with
   continuous batching and SplitFuse (reproduces TTFT/TBT under load).
 - :class:`NumericServingEngine` — real numpy forward passes with HCache
-  save/evict/restore (reproduces losslessness end to end).
+  save/evict/restore (reproduces losslessness end to end); its
+  :meth:`execute_iteration` is the fused prefill+decode primitive.
+- :class:`ServingFrontend` — the submit/step/stream request loop with
+  admission control, SLO-aware scheduling, and restore/decode overlap
+  (typed surface in :mod:`repro.engine.api`).
 """
 
+from repro.engine.api import (
+    IterationResult,
+    IterationStats,
+    ServingRequest,
+    ServingResponse,
+)
 from repro.engine.batching import ContinuousBatcher, MemoryBudget
+from repro.engine.frontend import RequestHandle, ServingFrontend, pool_admission_gate
 from repro.engine.metrics import MetricsCollector, RequestRecord, ServingReport
 from repro.engine.numeric_engine import NumericServingEngine, SessionState
 from repro.engine.request import Phase, Request, RequestSpec
@@ -25,18 +36,25 @@ __all__ = [
     "ContinuousBatcher",
     "EngineConfig",
     "IterationPlan",
+    "IterationResult",
+    "IterationStats",
     "MemoryBudget",
     "MetricsCollector",
     "NumericServingEngine",
     "Phase",
     "Request",
+    "RequestHandle",
     "RequestRecord",
     "RequestSpec",
+    "ServingFrontend",
     "ServingReport",
+    "ServingRequest",
+    "ServingResponse",
     "ServingSimulator",
     "SessionState",
     "SplitFuseScheduler",
     "concurrent_context_estimate",
     "max_context_tokens",
+    "pool_admission_gate",
     "simulate_methods",
 ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.request import Phase, Request
-from repro.errors import StateError
+from repro.errors import ConfigError, StateError
 
 
 @dataclass(frozen=True)
@@ -54,11 +54,17 @@ class ServingReport:
     p95_tbt: float
     requests_per_second: float
     tokens_per_second: float
+    # Tail percentiles the front-end bench plots (defaults keep older
+    # pickled/JSON reports loadable).
+    p99_ttft: float = 0.0
+    p50_tbt: float = 0.0
+    p99_tbt: float = 0.0
 
     def describe(self) -> str:
         return (
             f"{self.n_requests} reqs in {self.duration:.1f}s | "
-            f"TTFT mean {self.mean_ttft * 1e3:.1f}ms p95 {self.p95_ttft * 1e3:.1f}ms | "
+            f"TTFT mean {self.mean_ttft * 1e3:.1f}ms p95 {self.p95_ttft * 1e3:.1f}ms "
+            f"p99 {self.p99_ttft * 1e3:.1f}ms | "
             f"TBT mean {self.mean_tbt * 1e3:.2f}ms | "
             f"{self.requests_per_second:.3f} req/s, {self.tokens_per_second:.1f} tok/s"
         )
@@ -119,4 +125,26 @@ class MetricsCollector:
             p95_tbt=float(np.percentile(tbts, 95)),
             requests_per_second=len(self.records) / duration,
             tokens_per_second=total_tokens / duration,
+            p99_ttft=float(np.percentile(ttfts, 99)),
+            p50_tbt=float(np.percentile(tbts, 50)),
+            p99_tbt=float(np.percentile(tbts, 99)),
         )
+
+    def goodput(self, slo_ttft_s: float) -> float:
+        """Output-token rate from requests whose TTFT met the SLO.
+
+        The front-end bench's load sweep plots this against the offered
+        rate: past saturation, throughput keeps climbing while goodput
+        collapses — the admission-control signal.
+        """
+        if slo_ttft_s <= 0:
+            raise ConfigError("slo_ttft_s must be positive")
+        if not self.records:
+            raise StateError("no finished requests to summarize")
+        start = min(r.arrival_time for r in self.records)
+        end = max(r.finished_at for r in self.records)
+        duration = max(end - start, 1e-9)
+        good_tokens = sum(
+            r.output_tokens for r in self.records if r.ttft <= slo_ttft_s
+        )
+        return good_tokens / duration

@@ -11,17 +11,41 @@ which is the paper's losslessness claim in executable form.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.hcache import HCacheEngine
+from repro.engine.api import IterationResult
 from repro.errors import ConfigError, StateError
 from repro.models.hidden_capture import HiddenCapture
 from repro.models.kv_cache import KVCache, StackedKVCacheBlock
 from repro.models.transformer import Transformer
 from repro.runtime.executor import RestoreExecutor
+
+#: Deprecated entry points that already warned once this process.  Tests
+#: that assert the warning fires clear this set first.
+_warned_deprecations: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit a one-time :class:`DeprecationWarning` for ``name``.
+
+    One warning per process, not per call: the shims sit under hot serving
+    loops and a per-call warning would flood logs (and trip pytest's
+    ``filterwarnings = error`` once per test instead of once per run; the
+    carve-out in ``pyproject.toml`` matches the message prefix here).
+    """
+    if name in _warned_deprecations:
+        return
+    _warned_deprecations.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} (see docs/MIGRATION.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -50,6 +74,7 @@ class NumericServingEngine:
         self,
         transformer: Transformer,
         hcache: HCacheEngine,
+        *,
         executor: RestoreExecutor | None = None,
     ) -> None:
         """Wrap a transformer and its HCache engine.
@@ -77,6 +102,7 @@ class NumericServingEngine:
         cls,
         transformer: Transformer,
         hcache: HCacheEngine,
+        *,
         executor: RestoreExecutor | None = None,
     ) -> "NumericServingEngine":
         """Re-open every session a crash-recovered HCache engine holds.
@@ -88,7 +114,7 @@ class NumericServingEngine:
         durability boundary (unsealed tail rows lost in the crash) are
         simply absent from the log, as if they were never generated.
         """
-        engine = cls(transformer, hcache, executor)
+        engine = cls(transformer, hcache, executor=executor)
         for context_id in hcache.context_ids():
             engine._sessions[context_id] = SessionState(
                 session_id=context_id,
@@ -109,6 +135,10 @@ class NumericServingEngine:
         if session_id not in self._sessions:
             raise StateError(f"session {session_id!r} not open")
         return self._sessions[session_id]
+
+    def has_session(self, session_id: str) -> bool:
+        """Whether ``session_id`` is open (the front end opens lazily)."""
+        return session_id in self._sessions
 
     def chat_round(
         self, session_id: str, prompt_tokens: np.ndarray, n_output_tokens: int
@@ -200,21 +230,24 @@ class NumericServingEngine:
     ) -> dict[str, list[int]]:
         """Serve one round for several sessions, decoding them as one batch.
 
-        The batched counterpart of :meth:`chat_round`, in three phases:
+        .. deprecated:: PR 10
+            A thin shim over the submit/step front end: it builds a
+            :class:`~repro.engine.frontend.ServingFrontend` sized to admit
+            every round at once, submits one
+            :class:`~repro.engine.api.ServingRequest` per ``(session,
+            prompt)`` pair, and drives :meth:`ServingFrontend.step` until
+            idle.  Use the front end directly for new code — it exposes
+            the same batched execution plus admission control, streaming,
+            and per-iteration stats.
 
-        1. **Restore burst** — every evicted session with history comes
-           back through :meth:`restore_sessions` (one shared IO pool
-           when an executor is configured).
-        2. **Prefill** — each prompt runs a serial block-level forward
-           (prompt GEMMs are already batched within a session), saving
-           states as usual.
-        3. **Batched decode** — the caches are stacked into one
-           :class:`StackedKVCacheBlock` and every output token is one
-           :meth:`Transformer.decode_batch` call across all sessions,
-           instead of ``len(rounds)`` serial steps.  Per-step hidden
-           states still flow into per-session capture buffers and the
-           per-token HCache saves, so the storage contents match the
-           serial path.
+        The serving behaviour is the old contract: evicted sessions come
+        back in one restore burst (the shared executor's IO pool when
+        configured), prompts prefill under the SplitFuse token budget —
+        now *fused into the batched iteration* instead of the old serial
+        per-session prefill loop — and every output token is one batched
+        model call across all sessions.  Per-token hidden states still
+        flow through the per-session HCache saves, so storage contents
+        match the serial path.
 
         Returns ``{session_id: generated tokens}``.  Numeric state
         matches per-session :meth:`chat_round` calls within the
@@ -225,6 +258,7 @@ class NumericServingEngine:
         GEMM-shape change carries (cf. the ROADMAP's live-cache atol
         note), not an additional batching hazard class.
         """
+        _warn_deprecated("chat_rounds", "ServingFrontend.submit/step")
         if not rounds:
             raise ConfigError("need at least one (session, prompt) round")
         if n_output_tokens <= 0:
@@ -240,74 +274,111 @@ class NumericServingEngine:
         if len(set(session_ids)) != len(session_ids):
             raise ConfigError("a session cannot appear twice in one batch")
         states = [self.session(session_id) for session_id in session_ids]
-        round_totals = [
+        # Deferred import: the front end is built on this engine's
+        # execute_iteration, not the other way around.
+        from repro.engine.api import ServingRequest
+        from repro.engine.batching import MemoryBudget
+        from repro.engine.frontend import ServingFrontend
+
+        capacity = sum(
             len(state.tokens) + prompt.size + n_output_tokens
             for state, prompt in zip(states, prompts)
-        ]
-        totals_by_session = dict(zip(session_ids, round_totals))
-        evicted = [s.session_id for s in states if not s.on_gpu and s.tokens]
-        if evicted:
-            # Per-session reservations: each restored cache only needs its
-            # own round's capacity (the shared *block* is what must fit the
-            # largest session, and ensure_stacked below sizes that).
-            self.restore_sessions(
-                evicted,
-                reserve_tokens={sid: totals_by_session[sid] for sid in evicted},
-            )
-        config = self.transformer.config
-        captures: list[HiddenCapture] = []
-        logits_rows: list[np.ndarray] = []
-        for state, prompt, total in zip(states, prompts, round_totals):
-            if not state.on_gpu:
-                state.kv_cache = KVCache(config)
-            capture, last_logits = self._prefill_round(
-                state, prompt, total, n_output_tokens
-            )
-            captures.append(capture)
-            logits_rows.append(last_logits)
-        caches = [state.kv_cache for state in states]
-        StackedKVCacheBlock.ensure_stacked(caches, reserve_tokens=max(round_totals))
-        generated: dict[str, list[int]] = {s: [] for s in session_ids}
-        logits = np.stack(logits_rows)
-        for _ in range(n_output_tokens):
-            step_tokens = np.argmax(logits, axis=1)
-            rows = [len(capture) for capture in captures]
-            logits = self.transformer.decode_batch(step_tokens, caches, captures=captures)
-            for b, state in enumerate(states):
-                token = int(step_tokens[b])
-                generated[state.session_id].append(token)
-                self.hcache.save_states(
-                    state.session_id,
-                    captures[b].block_views(rows[b], rows[b] + 1),
-                    np.array([token]),
-                    kv_cache=state.kv_cache,
+        )
+        frontend = ServingFrontend(
+            self,
+            budget=MemoryBudget(capacity_tokens=capacity),
+            max_running=max(len(rounds), 256),
+            evict_on_finish=False,
+            overlap_restores=False,
+        )
+        handles = [
+            frontend.submit(
+                ServingRequest(
+                    session_id=session_id,
+                    prompt_tokens=prompt,
+                    max_new_tokens=n_output_tokens,
                 )
-                state.tokens.append(token)
-        return generated
+            )
+            for session_id, prompt in zip(session_ids, prompts)
+        ]
+        frontend.run_until_idle()
+        return {
+            handle.session_id: list(handle.result().tokens) for handle in handles
+        }
 
     def decode_iteration(self, tokens_by_session: Mapping[str, int]) -> dict[str, int]:
         """Run one engine iteration's decode batch as a single model call.
 
-        This is the execution half of the continuous-batching plan: the
-        scheduler picks the decode set
-        (:attr:`repro.engine.splitfuse.IterationPlan.decode_session_ids`),
-        and this method feeds each listed session its pending token
-        through one :meth:`Transformer.decode_batch` pass, persists the
-        captured hidden states, appends to the token logs, and returns
-        each session's next greedy token ``{session_id: token}``.
+        .. deprecated:: PR 10
+            A shim over :meth:`execute_iteration` (the fused iteration
+            primitive, which also carries prefill chunks); behaviour and
+            numerics are unchanged — this forwards ``tokens_by_session``
+            as the decode set and returns
+            :attr:`~repro.engine.api.IterationResult.next_tokens`.
 
         All sessions must be GPU-resident with non-empty histories (the
-        pending token continues a prefilled context).  Caches are
-        stacked on first use and the block is reused while the batch
-        stays stable; a membership or order change re-stacks (one
-        O(batch x history) copy — the numpy analog of remapping KV
-        pages into the new batch layout).
+        pending token continues a prefilled context).
         """
+        _warn_deprecated("decode_iteration", "execute_iteration")
         if not tokens_by_session:
             raise ConfigError("decode iteration needs at least one session")
-        session_ids = list(tokens_by_session)
-        states = [self.session(session_id) for session_id in session_ids]
-        for state in states:
+        return dict(
+            self.execute_iteration(decode_tokens=tokens_by_session).next_tokens
+        )
+
+    def execute_iteration(
+        self,
+        prefill_chunks: Sequence[tuple[str, np.ndarray]] = (),
+        decode_tokens: Mapping[str, int] | None = None,
+    ) -> IterationResult:
+        """Execute one continuous-batching iteration as ONE model call.
+
+        The engine half of the submit/step front end: the scheduler's
+        :class:`~repro.engine.splitfuse.IterationPlan` maps directly onto
+        the two arguments — ``prefill_chunks`` are ``(session_id,
+        tokens)`` prompt chunks under the SplitFuse budget, and
+        ``decode_tokens`` feeds each decoding session its pending token.
+
+        Execution is always a single batched transformer pass:
+
+        - **decode-only** iterations stack the caches into one
+          :class:`StackedKVCacheBlock` and run
+          :meth:`Transformer.decode_batch` (bit-identical to the
+          pre-PR-10 ``decode_iteration``);
+        - iterations carrying prefill work run
+          :meth:`Transformer.forward_fused`, packing every chunk and
+          decode token into one variable-length segmented call — this
+          replaces the serial per-session prefill loop ``chat_rounds``
+          used to run (one model call per admitted session).
+
+        Either way each segment's hidden states are persisted through the
+        ordinary HCache save path and the token logs are extended, so
+        storage contents match the serial engine.  Returns an
+        :class:`~repro.engine.api.IterationResult` whose ``next_tokens``
+        carries every executed session's next greedy token; for a prefill
+        chunk that does not complete its prompt the entry is the argmax
+        over a mid-prompt row — the caller tracks completion and ignores
+        it.  ``model_calls`` is always 1 (the fused-iteration contract a
+        regression test pins).
+
+        Decode sessions must be GPU-resident with non-empty histories;
+        prefill sessions must be GPU-resident unless they have no history
+        at all (a fresh cache is created); a session may appear in only
+        one role per iteration.
+        """
+        chunks = [(sid, np.asarray(tokens)) for sid, tokens in prefill_chunks]
+        decode = dict(decode_tokens) if decode_tokens else {}
+        if not chunks and not decode:
+            raise ConfigError("iteration needs at least one chunk or decode token")
+        for _, tokens in chunks:
+            if tokens.ndim != 1 or tokens.size == 0:
+                raise ConfigError("every prefill chunk must be a non-empty 1-D array")
+        roles = [sid for sid, _ in chunks] + list(decode)
+        if len(set(roles)) != len(roles):
+            raise ConfigError("a session cannot appear twice in one iteration")
+
+        decode_states = [self.session(session_id) for session_id in decode]
+        for state in decode_states:
             if not state.on_gpu:
                 raise StateError(
                     f"session {state.session_id!r} is not GPU-resident; restore it first"
@@ -322,6 +393,68 @@ class NumericServingEngine:
                     f"session {state.session_id!r}: cache holds "
                     f"{len(state.kv_cache)} tokens, log has {len(state.tokens)}"
                 )
+
+        if not chunks:
+            return self._decode_only_iteration(decode, decode_states)
+
+        config = self.transformer.config
+        prefill_states = []
+        for session_id, _ in chunks:
+            state = self.session(session_id)
+            if not state.on_gpu:
+                if state.tokens:
+                    raise StateError(
+                        f"session {session_id!r} has evicted history; restore it first"
+                    )
+                state.kv_cache = KVCache(config)
+            assert state.kv_cache is not None
+            if len(state.kv_cache) != len(state.tokens):
+                raise StateError(
+                    f"session {session_id!r}: cache holds "
+                    f"{len(state.kv_cache)} tokens, log has {len(state.tokens)}"
+                )
+            prefill_states.append(state)
+
+        states = prefill_states + decode_states
+        segments = [tokens for _, tokens in chunks] + [
+            np.array([int(token)]) for token in decode.values()
+        ]
+        caches = [state.kv_cache for state in states]
+        captures = [
+            HiddenCapture(config.n_layers, config.hidden_size) for _ in states
+        ]
+        for capture, segment in zip(captures, segments):
+            capture.reserve(segment.size)
+        logits = self.transformer.forward_fused(segments, caches, captures=captures)
+        for b, (state, segment) in enumerate(zip(states, segments)):
+            self.hcache.save_states(
+                state.session_id,
+                captures[b].block_views(0, segment.size),
+                segment,
+                kv_cache=state.kv_cache,
+            )
+            state.tokens.extend(int(t) for t in segment)
+        return IterationResult(
+            next_tokens={
+                state.session_id: int(np.argmax(logits[b]))
+                for b, state in enumerate(states)
+            },
+            model_calls=1,
+        )
+
+    def _decode_only_iteration(
+        self, decode: Mapping[str, int], states: "list[SessionState]"
+    ) -> IterationResult:
+        """Pure-decode iteration: one stacked :meth:`Transformer.decode_batch`.
+
+        Kept verbatim from the pre-PR-10 ``decode_iteration`` body so the
+        steady-state decode path stays bit-identical: caches are stacked
+        on first use and the block is reused while the batch stays
+        stable; a membership or order change re-stacks (one O(batch x
+        history) copy — the numpy analog of remapping KV pages into the
+        new batch layout).
+        """
+        session_ids = list(decode)
         caches = [state.kv_cache for state in states]
         StackedKVCacheBlock.ensure_stacked(caches)
         config = self.transformer.config
@@ -329,7 +462,7 @@ class NumericServingEngine:
             HiddenCapture(config.n_layers, config.hidden_size) for _ in states
         ]
         step_tokens = np.array(
-            [int(tokens_by_session[session_id]) for session_id in session_ids]
+            [int(decode[session_id]) for session_id in session_ids]
         )
         logits = self.transformer.decode_batch(step_tokens, caches, captures=captures)
         for b, state in enumerate(states):
@@ -340,14 +473,18 @@ class NumericServingEngine:
                 kv_cache=state.kv_cache,
             )
             state.tokens.append(int(step_tokens[b]))
-        return {
-            session_id: int(np.argmax(logits[b]))
-            for b, session_id in enumerate(session_ids)
-        }
+        return IterationResult(
+            next_tokens={
+                session_id: int(np.argmax(logits[b]))
+                for b, session_id in enumerate(session_ids)
+            },
+            model_calls=1,
+        )
 
     def restore_sessions(
         self,
         session_ids: Sequence[str],
+        *,
         reserve_tokens: int | Mapping[str, int] = 0,
         shards: "tuple[int, int] | int | None" = None,
     ) -> None:
@@ -390,7 +527,10 @@ class NumericServingEngine:
             reserve = {sid: int(reserve_tokens.get(sid, 0)) for sid in session_ids}
         if self.executor is not None:
             caches = self.executor.restore_contexts(
-                self.hcache, [s.session_id for s in states], reserve, shards=shards
+                self.hcache,
+                [s.session_id for s in states],
+                reserve_tokens=reserve,
+                shards=shards,
             )
             for state in states:
                 state.kv_cache = caches[state.session_id]

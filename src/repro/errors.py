@@ -24,6 +24,16 @@ class AllocationError(CapacityError):
     """A chunk or block allocation could not be satisfied."""
 
 
+class AdmissionError(CapacityError):
+    """Serving admission control rejected a request.
+
+    Raised by :meth:`repro.engine.frontend.ServingFrontend.submit` when a
+    request can never be admitted (its full context exceeds the KV
+    budget) or when the arrival queue is at capacity.  A typed rejection
+    the caller can surface as back-pressure — never a crash deep inside
+    the iteration loop."""
+
+
 class SchedulingError(ReproError):
     """The restoration scheduler could not produce a valid partition."""
 

@@ -22,6 +22,10 @@ design contract behind each):
   drain paths; ``time.sleep`` only in the latency emulator.
 - ``api-surface`` — every ``__all__`` matches the module's public
   bindings.
+- ``frontend-api`` — the serving front-end ``__all__`` is pinned to an
+  explicit surface, and the deprecated ``chat_rounds`` /
+  ``decode_iteration`` entry points are not called outside their shim
+  module.
 
 Deliberate exceptions are waived in place, with a mandatory reason::
 
@@ -43,6 +47,7 @@ from repro.lint.rules import (
     ApiSurfaceRule,
     CommitPointRule,
     ExceptionSafetyRule,
+    FrontendApiRule,
     GuardedByRule,
     HotPathRule,
     default_rules,
@@ -54,6 +59,7 @@ __all__ = [
     "CommitPointRule",
     "ExceptionSafetyRule",
     "Finding",
+    "FrontendApiRule",
     "GuardedByRule",
     "HotPathRule",
     "ModuleInfo",

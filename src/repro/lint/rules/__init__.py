@@ -9,6 +9,7 @@ the CI gate run.
 from repro.lint.rules.api_surface import ApiSurfaceRule
 from repro.lint.rules.commit_point import CommitPointRule
 from repro.lint.rules.exception_safety import ExceptionSafetyRule
+from repro.lint.rules.frontend_api import FrontendApiRule
 from repro.lint.rules.guarded_by import GuardedByRule
 from repro.lint.rules.hot_path import HotPathRule
 
@@ -16,6 +17,7 @@ __all__ = [
     "ApiSurfaceRule",
     "CommitPointRule",
     "ExceptionSafetyRule",
+    "FrontendApiRule",
     "GuardedByRule",
     "HotPathRule",
     "default_rules",
@@ -30,4 +32,5 @@ def default_rules() -> list:
         HotPathRule(),
         ExceptionSafetyRule(),
         ApiSurfaceRule(),
+        FrontendApiRule(),
     ]

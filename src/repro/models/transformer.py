@@ -755,6 +755,109 @@ class Transformer:
         final = self._norm(hidden, self.weights.final_norm)
         return final @ self.weights.lm_head
 
+    def forward_fused(
+        self,
+        segments: Sequence[np.ndarray],
+        caches: Sequence[KVCache],
+        captures: Sequence[HiddenCapture] | None = None,
+    ) -> np.ndarray:
+        """One fused forward over variable-length segments of ``S`` sessions.
+
+        The serving front end's iteration primitive: segment ``s`` is a
+        block of new tokens (a SplitFuse prefill chunk, or a single decode
+        token) continuing ``caches[s]``'s history.  All segments share the
+        dense compute — embedding, per-layer norm + QKV projection, RoPE,
+        output projection, FFN, and the final lm_head run as *packed* GEMMs
+        over the concatenated ``sum(len(seg))`` rows — while attention runs
+        per segment against its own cache, so a single model call replaces
+        the serial per-session prefill loop ``chat_rounds`` used to run.
+        Single-token segments take the same decode attention fast path as a
+        serial ``forward``.
+
+        Per-segment hidden states land in ``captures[s]`` exactly as a
+        serial ``forward(seg, caches[s], capture=captures[s])`` would write
+        them, so the HCache saving path is unchanged.
+
+        Returns ``(S, vocab)`` logits — for each segment, the next-token
+        logits of its *last* row.  Rows of segments that have not yet
+        reached the end of their prompt are computed but not returned
+        (their argmax is meaningless mid-prompt); the front end tracks
+        which chunks complete a prompt.
+
+        **Equivalence contract:** the same :data:`BATCHED_DECODE_ATOL`
+        band as :meth:`decode_batch`, for the same reason — elementwise
+        stages (norm, RoPE, softmax, residuals, attention) are per-row /
+        per-segment and bit-identical to the serial path, while the packed
+        GEMMs' BLAS M-blocking (M=sum of segment lengths vs per-session M)
+        rounds differently in the last ulps.
+        """
+        config = self.config
+        segments = [np.asarray(seg) for seg in segments]
+        caches = list(caches)
+        if not segments:
+            raise ConfigError("forward_fused needs at least one segment")
+        if len(caches) != len(segments):
+            raise ConfigError(
+                f"{len(segments)} segments for {len(caches)} caches; need one each"
+            )
+        for seg in segments:
+            if seg.ndim != 1 or seg.size == 0:
+                raise ConfigError("every segment must be a non-empty 1-D token array")
+        if len({id(cache) for cache in caches}) != len(caches):
+            raise ConfigError("the same cache cannot serve two fused segments")
+        for cache in caches:
+            if cache.config != config:
+                raise ConfigError("every cache must match the transformer's config")
+        if captures is not None:
+            captures = list(captures)
+            if len(captures) != len(caches):
+                raise ConfigError("need one capture per segment")
+        starts = [len(cache) for cache in caches]
+        for seg, start in zip(segments, starts):
+            if start + seg.size > config.max_context:
+                raise ConfigError(
+                    f"context {start + seg.size} exceeds max {config.max_context}"
+                )
+        # Packed row layout: segment s owns rows [bounds[s], bounds[s+1]).
+        sizes = [seg.size for seg in segments]
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        positions = np.concatenate(
+            [np.arange(start, start + size) for start, size in zip(starts, sizes)]
+        )
+        hidden = self.embed(np.concatenate(segments))
+        rows = [capture.extend(size) for capture, size in zip(captures, sizes)] if (
+            captures is not None
+        ) else None
+        n_rep = config.n_heads // config.n_kv_heads
+        n_total = int(bounds[-1])
+        attn_out = np.empty(
+            (n_total, config.n_heads, config.head_dim), dtype=np.float32
+        )
+        for layer in range(config.n_layers):
+            if captures is not None:
+                for s, capture in enumerate(captures):
+                    capture.write(layer, rows[s], hidden[bounds[s] : bounds[s + 1]])
+            w = self.weights.layers[layer]
+            # One packed projection: row r's RoPE angle comes from its own
+            # absolute position, exactly what compute_qkv applies rowwise.
+            q, k, v = self.compute_qkv(layer, hidden, positions)
+            for s, cache in enumerate(caches):
+                o0, o1 = int(bounds[s]), int(bounds[s + 1])
+                cache.append(layer, k[o0:o1], v[o0:o1])
+                keys, values = cache.get(layer)
+                attn_out[o0:o1] = scaled_dot_product_attention(
+                    q[o0:o1],
+                    repeat_kv(keys, n_rep),
+                    repeat_kv(values, n_rep),
+                    query_offset=starts[s],
+                )
+            hidden = hidden + merge_heads(attn_out) @ w.wo
+            normed = self._norm(hidden, w.ffn_norm)
+            hidden = hidden + ffn_forward(normed, w, config.n_ffn_mats)
+        last_rows = hidden[bounds[1:] - 1]
+        final = self._norm(last_rows, self.weights.final_norm)
+        return final @ self.weights.lm_head
+
     def _gather_kv(
         self, caches: "list[KVCache]", layer: int, max_len: int
     ) -> tuple[np.ndarray, np.ndarray]:

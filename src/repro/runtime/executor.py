@@ -28,7 +28,8 @@ real serving system sees.
 from __future__ import annotations
 
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from functools import partial
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
@@ -94,6 +95,9 @@ class RestoreExecutor:
         self.inflight = inflight
         self.lookahead = lookahead
         self.max_concurrent_restores = max_concurrent_restores
+        #: Lazily created driver pool for :meth:`restore_contexts_async`;
+        #: ``restore_contexts`` keeps its per-call pool (simpler lifetime).
+        self._async_drivers: ThreadPoolExecutor | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -104,7 +108,10 @@ class RestoreExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut the pool down if this executor created it."""
+        """Shut down the async driver pool, and the IO pool if owned."""
+        if self._async_drivers is not None:
+            self._async_drivers.shutdown(wait=True)
+            self._async_drivers = None
         if self._owns_pool:
             self.pool.shutdown()
 
@@ -226,6 +233,7 @@ class RestoreExecutor:
         self,
         engine: "HCacheEngine",
         context_ids: Sequence[str],
+        *,
         reserve_tokens: "int | Mapping[str, int]" = 0,
         shards: "tuple[int, int] | int | None" = None,
     ) -> dict[str, "KVCache"]:
@@ -272,8 +280,70 @@ class RestoreExecutor:
         ) as drivers:
             futures = {
                 cid: drivers.submit(
-                    engine.restore, cid, reserve[cid], None, self, shards
+                    partial(
+                        engine.restore,
+                        cid,
+                        reserve[cid],
+                        executor=self,
+                        shards=shards,
+                    )
                 )
                 for cid in ids
             }
             return {cid: futures[cid].result() for cid in ids}
+
+    def restore_contexts_async(
+        self,
+        engine: "HCacheEngine",
+        context_ids: Sequence[str],
+        *,
+        reserve_tokens: "int | Mapping[str, int]" = 0,
+        shards: "tuple[int, int] | int | None" = None,
+    ) -> dict[str, "Future[KVCache]"]:
+        """Like :meth:`restore_contexts`, but non-blocking.
+
+        Returns ``{context_id: Future[KVCache]}`` immediately; each
+        restoration runs on a persistent driver pool (at most
+        ``max_concurrent_restores`` concurrently) and the caller installs
+        the finished cache whenever it polls the future.  This is the
+        serving front end's restore/decode overlap: admitted-but-evicted
+        sessions restore in the background — their granule reads on the
+        shared :class:`IOWorkerPool`, their projection GEMMs on the
+        driver threads (numpy BLAS releases the GIL) — while the calling
+        thread keeps issuing fused decode iterations for GPU-resident
+        sessions.  Restored bytes are bit-identical to a blocking
+        restore; only completion *timing* differs.
+
+        Safety: the restored context must not be saved to or dropped
+        while its future is outstanding (the front end keeps such
+        sessions in the RESTORING phase, outside every iteration plan);
+        concurrent saves of *other* contexts are fine, per the
+        :meth:`HCacheEngine.restore` concurrency contract.
+        """
+        ids = list(context_ids)
+        if len(set(ids)) != len(ids):
+            raise ConfigError("restore_contexts_async needs distinct context ids")
+        if not ids:
+            return {}
+        if isinstance(reserve_tokens, int):
+            reserve = dict.fromkeys(ids, reserve_tokens)
+        else:
+            reserve = {cid: int(reserve_tokens.get(cid, 0)) for cid in ids}
+        engine.transformer._projection_stack()
+        if self._async_drivers is None:
+            self._async_drivers = ThreadPoolExecutor(
+                max_workers=self.max_concurrent_restores,
+                thread_name_prefix="hcache-restore-async",
+            )
+        return {
+            cid: self._async_drivers.submit(
+                partial(
+                    engine.restore,
+                    cid,
+                    reserve[cid],
+                    executor=self,
+                    shards=shards,
+                )
+            )
+            for cid in ids
+        }

@@ -10,6 +10,7 @@ from repro.traces.arrival import (
     build_workload,
     conversation_requests,
     poisson_arrival_times,
+    zipf_session_workload,
 )
 from repro.traces.leval import (
     LEVAL_TASKS,
@@ -43,4 +44,5 @@ __all__ = [
     "poisson_arrival_times",
     "task_statistics",
     "trace_statistics",
+    "zipf_session_workload",
 ]

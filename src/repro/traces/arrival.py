@@ -9,11 +9,15 @@ starts before round *k* finishes.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
+from repro.engine.api import ServingRequest
 from repro.engine.request import RequestSpec
 from repro.errors import ConfigError
-from repro.traces.sharegpt import Conversation
+from repro.traces.sharegpt import Conversation, ShareGPTGenerator
+from repro.traces.zipf import ZipfianSampler
 
 #: §6.1.1: "The interval between conversation rounds in one session is 30s."
 ROUND_INTERVAL_SECONDS = 30.0
@@ -78,3 +82,48 @@ def build_workload(
     for conversation, start in zip(conversations, starts):
         specs.extend(conversation_requests(conversation, float(start), round_interval))
     return sorted(specs, key=lambda s: s.arrival_time)
+
+
+def zipf_session_workload(
+    n_sessions: int,
+    n_requests: int,
+    rate_per_second: float,
+    *,
+    alpha: float | None = 1.0,
+    seed: int = 0,
+    generator: ShareGPTGenerator | None = None,
+    vocab_size: int = 32000,
+    slo_ttft_s: float | None = None,
+) -> Iterator[ServingRequest]:
+    """Streaming arrivals over a large Zipf-popular session population.
+
+    The front-end load experiments (§6.4 popularity, §6.1.1 arrivals)
+    draw each request's *session* from a Zipfian popularity law over
+    ``n_sessions`` distinct sessions (10^5–10^6 in the paper's sweep) and
+    its *lengths* from the ShareGPT round distributions, with Poisson
+    arrival instants at the offered ``rate_per_second``.  Requests are
+    yielded in arrival order as typed :class:`ServingRequest` objects —
+    lazily, so million-session sweeps never materialize the whole trace.
+
+    Repeated draws of one session become consecutive rounds of that
+    session: :meth:`ServingFrontend.submit` chains them in order and
+    restores the evicted history in between.
+    """
+    if n_requests <= 0:
+        raise ConfigError("n_requests must be positive")
+    if vocab_size <= 0:
+        raise ConfigError("vocab_size must be positive")
+    sampler = ZipfianSampler(n_sessions, alpha, seed=seed)
+    arrivals = poisson_arrival_times(rate_per_second, n_requests, seed=seed + 1)
+    sessions = sampler.sample(n_requests)
+    lengths = generator if generator is not None else ShareGPTGenerator(seed=seed + 2)
+    token_rng = np.random.default_rng(seed + 3)
+    for arrival, session_index in zip(arrivals, sessions):
+        input_tokens, output_tokens = lengths.sample_round()
+        yield ServingRequest(
+            session_id=f"zipf-{int(session_index)}",
+            prompt_tokens=token_rng.integers(0, vocab_size, size=input_tokens),
+            max_new_tokens=output_tokens,
+            arrival_time=float(arrival),
+            slo_ttft_s=slo_ttft_s,
+        )

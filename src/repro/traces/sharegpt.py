@@ -93,6 +93,15 @@ class ShareGPTGenerator:
         value = _lognormal(self.rng, mean, self.sigma)
         return int(np.clip(round(value), 1, self.max_round_tokens))
 
+    def sample_round(self) -> tuple[int, int]:
+        """Sample one round's ``(input_tokens, output_tokens)`` lengths.
+
+        The streaming-arrival workloads (:func:`zipf_session_workload`)
+        draw rounds independently — session identity comes from the
+        popularity sampler, lengths from the trace distributions here.
+        """
+        return self._round_length(self.mean_input), self._round_length(self.mean_output)
+
     def sample_conversation(self, session_id: str) -> Conversation:
         """Sample one conversation (>= 2 rounds so history reuse occurs)."""
         p = 1.0 / self.mean_rounds

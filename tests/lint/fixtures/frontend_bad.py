@@ -1,0 +1,6 @@
+"""Fixture: internal callers of the deprecated entry points (2 seeded)."""
+
+
+def legacy_driver(engine, rounds, prompts):
+    tokens = engine.chat_rounds(rounds, prompts, n_output_tokens=4)
+    return engine.decode_iteration({"s": 1}), tokens

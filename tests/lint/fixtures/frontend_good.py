@@ -1,0 +1,7 @@
+"""Fixture: the submit/step surface the redesign points callers at."""
+
+
+def modern_driver(frontend, requests):
+    handles = [frontend.submit(request) for request in requests]
+    frontend.run_until_idle()
+    return [handle.result() for handle in handles]
